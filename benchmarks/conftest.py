@@ -1,0 +1,139 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures.  Since
+several tables are different reductions of the *same* measurement campaign
+(exactly as in the paper), campaigns are cached per session: the first
+benchmark that needs a campaign pays for the simulation, later ones reuse
+it.  Every benchmark writes its rendered table to
+``benchmarks/results/<name>.txt`` so the output survives pytest's capture
+and can be diffed against the published tables.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.sim.experiment import (
+    CampaignResult,
+    DayResult,
+    ExperimentConfig,
+    run_block_count_sweep,
+    run_campaign,
+    run_onoff_campaign,
+    run_policy_campaign,
+)
+from repro.workload.profiles import PROFILES
+
+BENCH_SEED = 1993
+ONOFF_DAYS = 6  # 3 on / 3 off after the alternation warm-up
+POLICY_DAYS = 3  # 1 training day + 2 rearranged days
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+class CampaignCache:
+    """Lazy, memoized experiment campaigns shared across benchmarks."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple, object] = {}
+
+    def _get(self, key, producer):
+        if key not in self._cache:
+            self._cache[key] = producer()
+        return self._cache[key]
+
+    def config(self, disk: str, profile_name: str, **overrides) -> ExperimentConfig:
+        return ExperimentConfig(
+            profile=PROFILES[profile_name],
+            disk=disk,
+            seed=BENCH_SEED,
+            **overrides,
+        )
+
+    def onoff(self, disk: str, profile_name: str) -> CampaignResult:
+        key = ("onoff", disk, profile_name)
+        return self._get(
+            key,
+            lambda: run_onoff_campaign(
+                self.config(disk, profile_name), days=ONOFF_DAYS
+            ),
+        )
+
+    def policy(self, disk: str, policy: str) -> CampaignResult:
+        key = ("policy", disk, policy)
+        return self._get(
+            key,
+            lambda: run_policy_campaign(
+                self.config(disk, "system"), policy, days=POLICY_DAYS
+            ),
+        )
+
+    def off_baseline(self, disk: str) -> CampaignResult:
+        """Two consecutive days with no rearrangement (Table 10 baseline)."""
+        key = ("off", disk)
+        return self._get(
+            key,
+            lambda: run_campaign(
+                self.config(disk, "system"), [False, False]
+            ),
+        )
+
+    def sweep(self, disk: str, counts: tuple[int, ...]) -> list[tuple[int, DayResult]]:
+        key = ("sweep", disk, counts)
+        return self._get(
+            key,
+            lambda: run_block_count_sweep(
+                self.config(disk, "system"), list(counts)
+            ),
+        )
+
+    def queue_ablation(self, disk: str, queue_policy: str) -> CampaignResult:
+        key = ("queue", disk, queue_policy)
+        return self._get(
+            key,
+            lambda: run_onoff_campaign(
+                self.config(disk, "system", queue_policy=queue_policy), days=4
+            ),
+        )
+
+    def position_ablation(self, disk: str, centered: bool) -> CampaignResult:
+        key = ("position", disk, centered)
+        return self._get(
+            key,
+            lambda: run_onoff_campaign(
+                self.config(disk, "system", reserved_center=centered), days=4
+            ),
+        )
+
+
+_CACHE = CampaignCache()
+
+
+@pytest.fixture(scope="session")
+def campaigns() -> CampaignCache:
+    return _CACHE
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Write a rendered table to benchmarks/results/ and echo it."""
+
+    def _publish(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _publish
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,92 @@
+"""Ablation — adaptive block rearrangement vs a Loge-style controller.
+
+Section 1.1: Loge "transparently reorganizes blocks each time they are
+written to reduce seek and rotational delay ... it can reduce write
+service times, but the savings come at the expense of increased read
+service times.  Unlike Loge, the block rearrangement system described
+here preserves the data placement done by the file system" and speeds up
+both reads and writes.
+
+Expected shape on the read/write *users* workload: Loge cuts write seek
+times, does not improve (or degrades) read seek times, while block
+rearrangement improves both.
+"""
+
+from conftest import BENCH_SEED, once
+
+from repro.core.loge import LogeDriver
+from repro.disk.disk import Disk
+from repro.disk.label import DiskLabel
+from repro.disk.models import disk_model
+from repro.driver.ioctl import IoctlInterface
+from repro.sim.engine import Simulation
+from repro.sim.experiment import Experiment
+from repro.stats.metrics import DayMetrics
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.profiles import USERS_FS_PROFILE, profile_for_disk
+
+
+def run_loge_variant():
+    """Two days under the write-anywhere controller; measure day two."""
+    model = disk_model("toshiba")
+    label = DiskLabel(model.geometry, reserved_cylinders=48)
+    partition = label.add_partition("fs0", label.virtual_total_blocks)
+    driver = LogeDriver(disk=Disk(model), label=label)
+    ioctl = IoctlInterface(driver)
+    profile = profile_for_disk(USERS_FS_PROFILE, "toshiba")
+    generator = WorkloadGenerator(
+        profile, partition, model.geometry.blocks_per_cylinder, seed=BENCH_SEED
+    )
+
+    def run_one_day():
+        workload = generator.generate_day()
+        simulation = Simulation(driver)
+        simulation.add_jobs(workload.jobs)
+        simulation.run()
+        return DayMetrics.from_tables(ioctl.read_stats(), model.seek)
+
+    run_one_day()  # warm the indirection map
+    return run_one_day()
+
+
+def run_block_variant():
+    from conftest import _CACHE
+
+    experiment = Experiment(_CACHE.config("toshiba", "users"))
+    off = experiment.run_day(rearranged=False, rearrange_tomorrow=True)
+    on = experiment.run_day(rearranged=True, rearrange_tomorrow=False)
+    return off.metrics, on.metrics
+
+
+def test_ablation_loge(benchmark, publish):
+    def run():
+        off, block_on = run_block_variant()
+        return {"plain": off, "block": block_on, "loge": run_loge_variant()}
+
+    results = once(benchmark, run)
+
+    lines = [
+        "Ablation: block rearrangement vs Loge-style write-anywhere",
+        "(Toshiba, users FS; seek times in ms)",
+        "=" * 62,
+        f"{'technique':<10}{'read seek':>12}{'write seek':>12}{'all seek':>12}",
+    ]
+    for name in ("plain", "block", "loge"):
+        day = results[name]
+        lines.append(
+            f"{name:<10}{day.read.mean_seek_time_ms:>12.2f}"
+            f"{day.write.mean_seek_time_ms:>12.2f}"
+            f"{day.all.mean_seek_time_ms:>12.2f}"
+        )
+    publish("ablation_loge", "\n".join(lines))
+
+    plain, block, loge = results["plain"], results["block"], results["loge"]
+    # Loge slashes write seeks...
+    assert (
+        loge.write.mean_seek_time_ms < 0.6 * plain.write.mean_seek_time_ms
+    )
+    # ...but does not deliver the read improvement block rearrangement does.
+    assert block.read.mean_seek_time_ms < plain.read.mean_seek_time_ms
+    assert loge.read.mean_seek_time_ms > block.read.mean_seek_time_ms
+    # Block rearrangement improves both directions at once.
+    assert block.write.mean_seek_time_ms < plain.write.mean_seek_time_ms

@@ -1,0 +1,50 @@
+"""Ablation — queue (head-scheduling) policy interaction with
+rearrangement.
+
+The paper's driver uses SCAN; this ablation checks how the benefit of
+rearrangement composes with FCFS, SCAN, C-SCAN and SSTF.  Expected shape:
+rearrangement helps under *every* discipline (it shrinks the distances the
+scheduler must cover), and the smart schedulers beat FCFS on off days.
+"""
+
+from conftest import once
+
+from repro.stats.metrics import summarize_on_off
+
+POLICIES = ("fcfs", "scan", "cscan", "sstf")
+
+
+def test_ablation_queue_policy(benchmark, campaigns, publish):
+    def run():
+        return {
+            policy: campaigns.queue_ablation("toshiba", policy)
+            for policy in POLICIES
+        }
+
+    results = once(benchmark, run)
+
+    lines = [
+        "Ablation: queue policy x rearrangement (Toshiba, system FS)",
+        "=" * 64,
+        f"{'policy':<8}{'off seek':>10}{'on seek':>10}{'off wait':>10}{'on wait':>10}",
+    ]
+    summaries = {}
+    for policy, result in results.items():
+        summary = summarize_on_off(result.metrics())
+        summaries[policy] = summary
+        lines.append(
+            f"{policy:<8}{summary.off_seek.avg:>10.2f}{summary.on_seek.avg:>10.2f}"
+            f"{summary.off_waiting.avg:>10.1f}{summary.on_waiting.avg:>10.1f}"
+        )
+    publish("ablation_queue_policy", "\n".join(lines))
+
+    for policy, summary in summaries.items():
+        # Rearrangement helps under every discipline.
+        assert summary.seek_reduction > 0.5, policy
+    # The seek-aware schedulers beat FCFS on off days.
+    for policy in ("scan", "sstf"):
+        assert summaries[policy].off_seek.avg <= summaries["fcfs"].off_seek.avg
+    # With rearrangement on, the discipline barely matters: the hot data
+    # is all in one place.
+    on_seeks = [s.on_seek.avg for s in summaries.values()]
+    assert max(on_seeks) - min(on_seeks) < 3.0

@@ -1,0 +1,45 @@
+"""Ablation — reserved-area position: middle of the disk vs the edge.
+
+The organ-pipe argument places the hot region mid-disk so the expected
+distance from a random miss position is minimized.  Expected shape: both
+placements produce large wins (most requests never leave the hot region),
+but the centered layout is at least as good, because misses pay shorter
+travels to and from the hot region.
+"""
+
+from conftest import once
+
+from repro.stats.metrics import summarize_on_off
+
+
+def test_ablation_reserved_position(benchmark, campaigns, publish):
+    def run():
+        return {
+            "center": campaigns.position_ablation("toshiba", True),
+            "edge": campaigns.position_ablation("toshiba", False),
+        }
+
+    results = once(benchmark, run)
+
+    lines = [
+        "Ablation: reserved-area position (Toshiba, system FS)",
+        "=" * 56,
+        f"{'position':<10}{'on seek ms':>12}{'seek reduction':>16}",
+    ]
+    summaries = {}
+    for name, result in results.items():
+        summary = summarize_on_off(result.metrics())
+        summaries[name] = summary
+        lines.append(
+            f"{name:<10}{summary.on_seek.avg:>12.2f}"
+            f"{summary.seek_reduction:>15.0%}"
+        )
+    publish("ablation_reserved_position", "\n".join(lines))
+
+    assert summaries["center"].seek_reduction > 0.5
+    assert summaries["edge"].seek_reduction > 0.4
+    # Centered placement serves misses at least as cheaply.
+    assert (
+        summaries["center"].on_seek.avg
+        <= summaries["edge"].on_seek.avg + 0.25
+    )

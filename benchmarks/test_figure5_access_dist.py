@@ -1,0 +1,50 @@
+"""Figure 5 — block-access distributions, *system* FS, both disks.
+
+Paper shape: heavily skewed sorted reference-count curves for both reads
+and all requests; "fewer than 2000 blocks absorbed all of the requests,
+and the 100 hottest blocks absorbed about 90%" (Section 5.4), with the
+all-requests curve steeper than the reads curve (write concentration).
+"""
+
+from conftest import once
+
+from repro.stats.report import render_access_distribution
+from repro.workload.distributions import sorted_counts, top_k_share
+
+
+def test_figure5_access_dist(benchmark, campaigns, publish):
+    def run():
+        return {
+            disk: campaigns.onoff(disk, "system") for disk in ("toshiba", "fujitsu")
+        }
+
+    results = once(benchmark, run)
+
+    series = []
+    checks = {}
+    for disk, result in results.items():
+        day = result.off_days()[-1]
+        all_sorted = sorted_counts(day.all_counts)
+        read_sorted = sorted_counts(day.read_counts)
+        checks[disk] = (day.all_counts, day.read_counts)
+        series.append((f"{disk} all requests", all_sorted))
+        series.append((f"{disk} reads", read_sorted))
+    publish(
+        "figure5_access_dist",
+        render_access_distribution(
+            series, "Figure 5: block access distributions, system FS"
+        ),
+    )
+
+    for disk, (all_counts, read_counts) in checks.items():
+        all_values = list(all_counts.values())
+        read_values = list(read_counts.values())
+        # ~90% of requests in the 100 hottest blocks.
+        assert top_k_share(all_values, 100) > 0.80, disk
+        # Fewer than 2000 distinct blocks referenced in a day.
+        assert len(all_values) < 2500, disk
+        # All-requests curve at least as steep as reads once the write
+        # set is fully covered (writes concentrate on few blocks).
+        assert (
+            top_k_share(all_values, 100) >= top_k_share(read_values, 100) - 0.02
+        ), disk

@@ -1,0 +1,51 @@
+"""Figure 6 — service-time distributions, *users* FS, Fujitsu disk.
+
+Paper shape: "rearrangement is still beneficial to many requests but not
+as much as in the case of the system file system" — the on-day CDF
+dominates, but the gap is visibly smaller than Figure 4's.
+"""
+
+from conftest import once
+
+from repro.stats.report import render_service_cdf
+
+
+def test_figure6_service_cdf_users(benchmark, campaigns, publish):
+    def run():
+        return {
+            "users": campaigns.onoff("fujitsu", "users"),
+            "system": campaigns.onoff("fujitsu", "system"),
+        }
+
+    results = once(benchmark, run)
+
+    users = results["users"]
+    off = users.off_days()[-1].metrics.all.service_histogram
+    on = users.on_days()[-1].metrics.all.service_histogram
+    publish(
+        "figure6_service_cdf_users",
+        render_service_cdf(
+            [("off", off), ("on", on)],
+            "Figure 6: service-time CDF, users FS, Fujitsu",
+            bar_width=30,
+        ),
+    )
+
+    # On-day still dominates...
+    gaps = []
+    for threshold in (10, 15, 20, 30):
+        gap = on.fraction_below(threshold) - off.fraction_below(threshold)
+        assert gap > -0.02, threshold
+        gaps.append(gap)
+    users_gap = max(gaps)
+    assert users_gap > 0.03
+
+    # ...but by less than on the system file system (Figure 4 vs 6).
+    system = results["system"]
+    sys_off = system.off_days()[-1].metrics.all.service_histogram
+    sys_on = system.on_days()[-1].metrics.all.service_histogram
+    system_gap = max(
+        sys_on.fraction_below(t) - sys_off.fraction_below(t)
+        for t in (10, 15, 20, 30)
+    )
+    assert users_gap < system_gap

@@ -1,0 +1,42 @@
+"""Figure 7 — block-access distributions, *users* FS.
+
+Paper shape: still skewed, but visibly flatter than the system FS's
+Figure 5 — the reason the users results are weaker (Section 5.3).
+"""
+
+from conftest import once
+
+from repro.stats.report import render_access_distribution
+from repro.workload.distributions import sorted_counts, top_k_share
+
+
+def test_figure7_access_dist_users(benchmark, campaigns, publish):
+    def run():
+        return {
+            ("users", disk): campaigns.onoff(disk, "users")
+            for disk in ("toshiba", "fujitsu")
+        } | {("system", "toshiba"): campaigns.onoff("toshiba", "system")}
+
+    results = once(benchmark, run)
+
+    series = []
+    for disk in ("toshiba", "fujitsu"):
+        day = results[("users", disk)].off_days()[-1]
+        series.append((f"{disk} all requests", sorted_counts(day.all_counts)))
+        series.append((f"{disk} reads", sorted_counts(day.read_counts)))
+    publish(
+        "figure7_access_dist_users",
+        render_access_distribution(
+            series, "Figure 7: block access distributions, users FS"
+        ),
+    )
+
+    users_day = results[("users", "toshiba")].off_days()[-1]
+    system_day = results[("system", "toshiba")].off_days()[-1]
+    users_values = list(users_day.all_counts.values())
+    system_values = list(system_day.all_counts.values())
+
+    # Still skewed...
+    assert top_k_share(users_values, 100) > 0.4
+    # ...but flatter than the system FS at the same rank.
+    assert top_k_share(users_values, 100) < top_k_share(system_values, 100)

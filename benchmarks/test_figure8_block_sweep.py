@@ -1,0 +1,49 @@
+"""Figure 8 — seek reduction vs number of rearranged blocks (Toshiba,
+*system* FS).
+
+Paper shape: reductions (relative to arrival-order service with no
+rearrangement) rise steeply and saturate: "the marginal benefit of
+rearranging blocks in excess of about 100 is quite small", because the
+100 hottest blocks absorb ~90% of requests.
+"""
+
+from conftest import once
+
+from repro.stats.report import render_sweep
+
+COUNTS = (10, 25, 50, 100, 200, 400, 1018)
+
+
+def reductions(day):
+    m = day.metrics.all
+    dist = 1 - m.mean_seek_distance / m.fcfs_mean_seek_distance
+    time = 1 - m.mean_seek_time_ms / m.fcfs_mean_seek_time_ms
+    return dist, time
+
+
+def test_figure8_block_sweep(benchmark, campaigns, publish):
+    points = once(benchmark, lambda: campaigns.sweep("toshiba", COUNTS))
+
+    rows = []
+    by_count = {}
+    for count, day in points:
+        dist, time = reductions(day)
+        by_count[count] = (dist, time)
+        rows.append((count, dist, time))
+    publish(
+        "figure8_block_sweep",
+        render_sweep(
+            rows, "Figure 8: seek reduction vs blocks rearranged, Toshiba"
+        ),
+    )
+
+    # Even a handful of blocks buys a large reduction.
+    assert by_count[10][1] > 0.3
+    # By ~100-200 blocks the curve is high...
+    assert by_count[200][1] > 0.75
+    # ...and the marginal benefit beyond is small (saturation).
+    assert by_count[1018][1] - by_count[200][1] < 0.10
+    # The curve grows overall from the smallest to the largest count.
+    assert by_count[1018][1] > by_count[10][1]
+    # Distance reductions saturate near total collapse.
+    assert by_count[1018][0] > 0.85

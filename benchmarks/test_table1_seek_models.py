@@ -1,0 +1,43 @@
+"""Table 1 — disk specifications and seek-time functions.
+
+Table 1 is an input, not a result, so this benchmark validates that our
+presets reproduce the published geometry exactly and characterizes the
+seek curves (the quantity every other table depends on).
+"""
+
+from conftest import once
+
+from repro.disk.models import FUJITSU_M2266, TOSHIBA_MK156F
+
+
+def render_seek_curves() -> str:
+    lines = ["Table 1 reproduction: disk specs and seek-time curves", "=" * 60]
+    for model in (TOSHIBA_MK156F, FUJITSU_M2266):
+        g = model.geometry
+        lines.append(
+            f"{model.name}: {g.cylinders} cyl x {g.tracks_per_cylinder} trk "
+            f"x {g.sectors_per_track} sec @ {g.rpm:.0f} RPM "
+            f"({g.capacity_bytes / 1e6:.0f} MB)"
+        )
+        samples = (1, 5, 10, 50, 100, 200, 315, 500, g.cylinders - 1)
+        row = "  seektime(d): " + "  ".join(
+            f"{d}->{model.seek.time(d):.2f}ms" for d in samples
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def test_table1_seek_models(benchmark, publish):
+    text = once(benchmark, render_seek_curves)
+    publish("table1_seek_models", text)
+
+    # Published geometry, verbatim.
+    assert TOSHIBA_MK156F.geometry.cylinders == 815
+    assert FUJITSU_M2266.geometry.cylinders == 1658
+    # The curves behave like Table 1: zero at zero, Fujitsu strictly
+    # faster, linear tails.
+    assert TOSHIBA_MK156F.seek.time(0) == 0.0
+    for d in (1, 100, 400, 800):
+        assert FUJITSU_M2266.seek.time(d) < TOSHIBA_MK156F.seek.time(d)
+    assert TOSHIBA_MK156F.seek.time(400) == 17.503 + 0.03 * 400
+    assert FUJITSU_M2266.seek.time(400) == 7.44 + 0.0114 * 400

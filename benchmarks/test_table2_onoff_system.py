@@ -1,0 +1,49 @@
+"""Table 2 — on/off experiments, *system* file system, both disks.
+
+Paper shape: with rearrangement on, daily mean seek times drop by roughly
+90%, service times by 35-40%, and waiting times fall substantially, on
+both drives.
+"""
+
+from conftest import once
+
+from repro.stats.metrics import summarize_on_off
+from repro.stats.report import render_onoff_table
+
+
+def test_table2_onoff_system(benchmark, campaigns, publish):
+    def run():
+        return {
+            disk: campaigns.onoff(disk, "system") for disk in ("toshiba", "fujitsu")
+        }
+
+    results = once(benchmark, run)
+
+    rows = []
+    summaries = {}
+    for disk, result in results.items():
+        summary = summarize_on_off(result.metrics())
+        summaries[disk] = summary
+        rows.append((disk.capitalize(), "all", summary))
+    publish(
+        "table2_onoff_system",
+        render_onoff_table(
+            rows, "Table 2: On/Off daily means, system file system"
+        ),
+    )
+
+    for disk, summary in summaries.items():
+        # ~90% seek-time reduction in the paper; accept the same regime.
+        assert summary.seek_reduction > 0.70, disk
+        # 35-40% service-time reduction in the paper.
+        assert 0.20 < summary.service_reduction < 0.55, disk
+        # Waiting times improve too.
+        assert summary.waiting_reduction > 0.15, disk
+        # Every single on-day beats every single off-day on seek time.
+        assert summary.on_seek.max < summary.off_seek.min, disk
+
+    # Fujitsu is the faster disk in absolute terms (Table 2 rows).
+    assert (
+        summaries["fujitsu"].off_service.avg
+        < summaries["toshiba"].off_service.avg
+    )

@@ -1,0 +1,44 @@
+"""Table 4 — on/off experiments, *system* file system, reads only.
+
+Paper shape: read seek times drop ~75% (less than the ~90% of the full
+workload, because writes are more concentrated); read service times drop
+~30%; read waiting times were low even without rearrangement.
+"""
+
+from conftest import once
+
+from repro.stats.metrics import summarize_on_off
+from repro.stats.report import render_onoff_table
+
+
+def test_table4_reads_system(benchmark, campaigns, publish):
+    def run():
+        return {
+            disk: campaigns.onoff(disk, "system") for disk in ("toshiba", "fujitsu")
+        }
+
+    results = once(benchmark, run)
+
+    rows = []
+    for disk, result in results.items():
+        rows.append(
+            (disk.capitalize(), "read", summarize_on_off(result.metrics(), "read"))
+        )
+    publish(
+        "table4_reads_system",
+        render_onoff_table(
+            rows, "Table 4: On/Off daily means, system FS, reads only"
+        ),
+    )
+
+    for disk, result in results.items():
+        reads = summarize_on_off(result.metrics(), "read")
+        everything = summarize_on_off(result.metrics(), "all")
+        # Reads improve a lot...
+        assert reads.seek_reduction > 0.5, disk
+        # ...but less than the combined stream (writes are more
+        # concentrated, Section 5.2).
+        assert reads.seek_reduction < everything.seek_reduction, disk
+        # Read waiting is small even without rearrangement: far below the
+        # all-requests waiting, which the write bursts dominate.
+        assert reads.off_waiting.avg < everything.off_waiting.avg / 3, disk

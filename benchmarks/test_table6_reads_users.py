@@ -1,0 +1,49 @@
+"""Table 6 — on/off experiments, *users* file system, reads only.
+
+Paper shape: reads improve on both disks; on the users FS reads improve
+*more predictably* than writes (new-file and extension writes cannot be
+anticipated), and read waiting times are small throughout.
+"""
+
+from conftest import once
+
+from repro.stats.metrics import summarize_on_off
+from repro.stats.report import render_onoff_table
+
+
+def test_table6_reads_users(benchmark, campaigns, publish):
+    def run():
+        return {
+            disk: campaigns.onoff(disk, "users") for disk in ("toshiba", "fujitsu")
+        }
+
+    results = once(benchmark, run)
+
+    rows = []
+    for disk, result in results.items():
+        rows.append(
+            (disk.capitalize(), "read", summarize_on_off(result.metrics(), "read"))
+        )
+    publish(
+        "table6_reads_users",
+        render_onoff_table(
+            rows, "Table 6: On/Off daily means, users FS, reads only"
+        ),
+    )
+
+    for disk, result in results.items():
+        reads = summarize_on_off(result.metrics(), "read")
+        # Reads still benefit on the users FS (paper: ~45-60%; we land in
+        # the same direction with a weaker magnitude, see EXPERIMENTS.md).
+        assert reads.seek_reduction > 0.10, disk
+        # Read waiting times are small on both kinds of day (Table 6).
+        assert reads.off_waiting.avg < 15.0, disk
+        assert reads.on_waiting.avg < 15.0, disk
+
+    # Users reads improve less than system reads on the same disk.
+    for disk in ("toshiba", "fujitsu"):
+        system_reads = summarize_on_off(
+            campaigns.onoff(disk, "system").metrics(), "read"
+        )
+        users_reads = summarize_on_off(results[disk].metrics(), "read")
+        assert users_reads.seek_reduction < system_reads.seek_reduction, disk

@@ -1,0 +1,49 @@
+"""Table 8 — placement-policy detail, Toshiba disk.
+
+Paper shape: organ-pipe [seek 1.55ms, 88% zero seeks], interleaved
+[2.50ms, 83%], serial [8.50ms, 26%] — serial does not cluster the hottest
+blocks, so the zero-length-seek share collapses and seek time is several
+times higher.
+"""
+
+from conftest import once
+
+from repro.stats.report import render_detail_table
+
+POLICIES = ("organ-pipe", "interleaved", "serial")
+
+
+def test_table8_policies_toshiba(benchmark, campaigns, publish):
+    def run():
+        return {
+            policy: campaigns.policy("toshiba", policy) for policy in POLICIES
+        }
+
+    results = once(benchmark, run)
+
+    columns = []
+    metrics = {}
+    for policy in POLICIES:
+        day = results[policy].on_days()[-1].metrics
+        metrics[policy] = day
+        columns.append((policy[:12], day.all))
+        columns.append((f"{policy[:9]}/rd", day.read))
+    publish(
+        "table8_policies_toshiba",
+        render_detail_table(
+            columns, "Table 8: placement policies, Toshiba (all / reads)"
+        ),
+    )
+
+    organ = metrics["organ-pipe"].all
+    inter = metrics["interleaved"].all
+    serial = metrics["serial"].all
+    # Zero-seek collapse under serial placement (88/83 vs 26 in the paper).
+    assert serial.zero_seek_fraction < organ.zero_seek_fraction - 0.25
+    assert serial.zero_seek_fraction < inter.zero_seek_fraction - 0.25
+    # Serial's seek time is several times organ-pipe's.
+    assert serial.mean_seek_time_ms > 1.8 * organ.mean_seek_time_ms
+    # Organ-pipe and interleaved are close.
+    assert abs(organ.mean_seek_time_ms - inter.mean_seek_time_ms) < 1.5
+    # Service ordering follows seek ordering.
+    assert serial.mean_service_ms > organ.mean_service_ms

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""A week in the life of an adaptive NFS file server.
+
+Replays the paper's headline experiment: a shared read-mostly *system*
+file system served for six alternating days (off, on, off, on, ...) and a
+*users* home-directory file system for comparison, on the disk of your
+choice.  Prints the daily log, the on/off summary, a service-time CDF,
+and the block-access distribution that makes it all work.
+
+Usage::
+
+    python examples/nfs_server_week.py [toshiba|fujitsu] [hours-per-day]
+"""
+
+import sys
+
+from repro import (
+    ExperimentConfig,
+    SYSTEM_FS_PROFILE,
+    USERS_FS_PROFILE,
+    run_onoff_campaign,
+)
+from repro.stats import (
+    render_access_distribution,
+    render_day,
+    render_onoff_table,
+    render_service_cdf,
+    summarize_on_off,
+)
+from repro.workload import sorted_counts, top_k_share
+
+
+def run_week(profile, disk, hours, seed=7):
+    config = ExperimentConfig(
+        profile=profile.scaled(hours=hours), disk=disk, seed=seed
+    )
+    print(f"\n=== {profile.name} file system on {disk} "
+          f"({hours:g}h days) ===")
+    result = run_onoff_campaign(config, days=6)
+    for day in result.days:
+        print(render_day(day.metrics, disk))
+    return result
+
+
+def main() -> None:
+    disk = sys.argv[1] if len(sys.argv) > 1 else "toshiba"
+    hours = float(sys.argv[2]) if len(sys.argv) > 2 else 3.0
+
+    system = run_week(SYSTEM_FS_PROFILE, disk, hours)
+    users = run_week(USERS_FS_PROFILE, disk, hours)
+
+    rows = [
+        (f"{disk}/system", "all", summarize_on_off(system.metrics())),
+        (f"{disk}/users", "all", summarize_on_off(users.metrics())),
+    ]
+    print()
+    print(render_onoff_table(rows, "Weekly on/off summary (daily means)"))
+
+    # Why it works: the skew of the system FS request distribution.
+    off_day = system.off_days()[-1]
+    counts = sorted_counts(off_day.all_counts)
+    print()
+    print(
+        render_access_distribution(
+            [("system FS, all requests", counts)],
+            "Block access distribution (one off day)",
+        )
+    )
+    print(
+        f"Top-100 blocks absorb {top_k_share(counts, 100):.0%} of requests "
+        f"({len(counts)} distinct blocks touched)."
+    )
+
+    # What the clients feel: the service-time distribution.
+    off_hist = system.off_days()[-1].metrics.all.service_histogram
+    on_hist = system.on_days()[-1].metrics.all.service_histogram
+    print()
+    print(
+        render_service_cdf(
+            [("off", off_hist), ("on", on_hist)],
+            "Service-time CDF, system FS",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Why the organ pipe? Theory meets simulation.
+
+The paper's placement heuristic rests on a classic result ([Wong 80],
+[Grossman 73]): for independent references from a fixed distribution, the
+organ-pipe arrangement minimizes expected head travel.  This example:
+
+1. takes a real generated day of the *system* workload,
+2. computes its cylinder reference distribution,
+3. predicts analytically the expected seek distance/time of (a) the
+   FFS layout as-is and (b) the same reference mass rearranged
+   organ-pipe,
+4. compares the predictions with what the discrete-event simulation
+   actually measures on off and on days.
+
+Usage::
+
+    python examples/organpipe_theory.py [hours-per-day]
+"""
+
+import sys
+
+from repro import ExperimentConfig, SYSTEM_FS_PROFILE, TOSHIBA_MK156F
+from repro.analysis import (
+    characterize,
+    cylinder_reference_distribution,
+    expected_seek_distance,
+    expected_seek_distance_organ_pipe,
+    expected_seek_time,
+    organ_pipe_arrangement,
+    render_character,
+    zero_seek_probability,
+)
+from repro.analysis.organpipe import arrange
+from repro.sim.experiment import Experiment
+
+
+def main() -> None:
+    hours = float(sys.argv[1]) if len(sys.argv) > 1 else 2.0
+    config = ExperimentConfig(
+        profile=SYSTEM_FS_PROFILE.scaled(hours=hours), disk="toshiba", seed=5
+    )
+    experiment = Experiment(config)
+
+    print("Running one off day and one on day...")
+    off = experiment.run_day(rearranged=False, rearrange_tomorrow=True)
+    on = experiment.run_day(rearranged=True, rearrange_tomorrow=False)
+
+    # Rebuild the day's workload record from the measured counts.
+    from repro.workload import DayWorkload
+
+    day0 = DayWorkload(
+        day=0,
+        jobs=[],
+        read_counts=dict(off.read_counts),
+        all_counts=dict(off.all_counts),
+    )
+    workload_probs = cylinder_reference_distribution(
+        day0,
+        TOSHIBA_MK156F.geometry,
+        virtual_to_physical=experiment.label.virtual_to_physical_block,
+    )
+
+    print()
+    print(render_character(
+        characterize(day0), "Measured day-0 workload character"
+    ))
+
+    print("\n--- Analytic predictions (independent-reference model) ---")
+    raw_distance = expected_seek_distance(workload_probs)
+    organ_distance = expected_seek_distance_organ_pipe(workload_probs)
+    raw_time = expected_seek_time(workload_probs, TOSHIBA_MK156F.seek)
+    order = organ_pipe_arrangement(workload_probs)
+    organ_time = expected_seek_time(
+        arrange(workload_probs, order), TOSHIBA_MK156F.seek
+    )
+    print(f"E[seek distance], FFS layout:      {raw_distance:8.1f} cyl")
+    print(f"E[seek distance], organ-pipe:      {organ_distance:8.1f} cyl")
+    print(f"E[seek time], FFS layout:          {raw_time:8.2f} ms")
+    print(f"E[seek time], organ-pipe:          {organ_time:8.2f} ms")
+    print(f"P[zero seek] (same mass):          "
+          f"{zero_seek_probability(workload_probs):8.1%}")
+
+    print("\n--- Simulation (SCAN queue, daily adaptive cycle) ---")
+    m_off, m_on = off.metrics.all, on.metrics.all
+    print(f"measured mean seek distance off/on: "
+          f"{m_off.mean_seek_distance:6.1f} / {m_on.mean_seek_distance:5.1f} cyl")
+    print(f"measured mean seek time off/on:     "
+          f"{m_off.mean_seek_time_ms:6.2f} / {m_on.mean_seek_time_ms:5.2f} ms")
+    print(f"measured zero seeks off/on:         "
+          f"{m_off.zero_seek_percent:5.0f}% / {m_on.zero_seek_percent:4.0f}%")
+
+    print(
+        "\nThe independent-reference model predicts the order-of-magnitude "
+        "collapse in seek *distance* that rearrangement delivers.  The "
+        "simulation beats the model's seek-*time* prediction on on-days "
+        "because SCAN batches same-cylinder requests (bursty writes), "
+        "driving the zero-seek share far above the model's independent "
+        "P[zero seek] — the synergy the paper describes in Section 5.2."
+    )
+
+
+if __name__ == "__main__":
+    main()

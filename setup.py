@@ -1,0 +1,18 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`) in
+offline environments without the `wheel` package (PEP 660 needs it)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Adaptive block rearrangement (Akyurek & Salem, ICDE 1993): "
+        "adaptive disk driver, disk/FS simulator, and experiment harness"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.23"],
+    extras_require={"test": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

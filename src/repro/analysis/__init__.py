@@ -1,0 +1,35 @@
+"""Analytic companions to the simulator.
+
+:mod:`organpipe` carries the Wong/Grossman expected-seek machinery behind
+the paper's placement heuristic; :mod:`characterize` reduces workloads to
+the statistics Section 5 reasons with."""
+
+from .characterize import (
+    WorkloadCharacter,
+    characterize,
+    cylinder_reference_distribution,
+    render_character,
+)
+from .organpipe import (
+    arrange,
+    expected_seek_distance,
+    expected_seek_distance_organ_pipe,
+    expected_seek_time,
+    normalize,
+    organ_pipe_arrangement,
+    zero_seek_probability,
+)
+
+__all__ = [
+    "WorkloadCharacter",
+    "arrange",
+    "characterize",
+    "cylinder_reference_distribution",
+    "expected_seek_distance",
+    "expected_seek_distance_organ_pipe",
+    "expected_seek_time",
+    "normalize",
+    "organ_pipe_arrangement",
+    "render_character",
+    "zero_seek_probability",
+]

@@ -1,0 +1,110 @@
+"""Workload characterization: the properties the paper reports.
+
+Reduces a generated (or traced) day to the statistics Section 5 uses to
+explain its results: reference skew, read/write mix, write-burst depth,
+and cylinder-level concentration.  Used to calibrate the synthetic
+profiles against the paper's published workload descriptions, and
+exported because the same questions arise for any user-supplied trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..disk.geometry import DiskGeometry
+from ..sim.jobs import Job
+from ..workload.distributions import top_k_share
+from ..workload.generator import DayWorkload
+
+
+@dataclass(frozen=True)
+class WorkloadCharacter:
+    """One day's workload, summarized the way Section 5 talks about it."""
+
+    requests: int
+    reads: int
+    writes: int
+    distinct_blocks: int
+    top_100_share: float
+    top_1018_share: float
+    read_top_100_share: float
+    write_distinct_blocks: int
+    write_top_30_share: float
+    mean_write_burst: float
+    max_write_burst: int
+
+    @property
+    def write_fraction(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.writes / self.requests
+
+
+def characterize(workload: DayWorkload) -> WorkloadCharacter:
+    """Summarize a generated day."""
+    all_counts = list(workload.all_counts.values())
+    read_counts = list(workload.read_counts.values())
+    write_counts = [
+        workload.all_counts[b] - workload.read_counts.get(b, 0)
+        for b in workload.all_counts
+    ]
+    write_counts = [c for c in write_counts if c > 0]
+    bursts = [
+        job.num_requests for job in workload.jobs if job.name == "sync"
+    ]
+    return WorkloadCharacter(
+        requests=workload.num_requests,
+        reads=workload.num_reads,
+        writes=workload.num_writes,
+        distinct_blocks=len(all_counts),
+        top_100_share=top_k_share(all_counts, 100),
+        top_1018_share=top_k_share(all_counts, 1018),
+        read_top_100_share=top_k_share(read_counts, 100),
+        write_distinct_blocks=len(write_counts),
+        write_top_30_share=top_k_share(write_counts, 30),
+        mean_write_burst=float(np.mean(bursts)) if bursts else 0.0,
+        max_write_burst=max(bursts) if bursts else 0,
+    )
+
+
+def cylinder_reference_distribution(
+    workload: DayWorkload, geometry: DiskGeometry, virtual_to_physical=None
+) -> np.ndarray:
+    """Reference probability per physical cylinder.
+
+    ``virtual_to_physical`` maps logical (virtual-disk) blocks to physical
+    blocks; identity when omitted.  Feed the result to
+    :mod:`repro.analysis.organpipe` to predict seek behaviour analytically.
+    """
+    probs = np.zeros(geometry.cylinders)
+    for block, count in workload.all_counts.items():
+        physical = (
+            virtual_to_physical(block) if virtual_to_physical else block
+        )
+        probs[geometry.cylinder_of_block(physical)] += count
+    total = probs.sum()
+    if total > 0:
+        probs /= total
+    return probs
+
+
+def render_character(character: WorkloadCharacter, title: str) -> str:
+    """One-screen text summary."""
+    lines = [
+        title,
+        "=" * max(len(title), 44),
+        f"requests:               {character.requests:>8}"
+        f"  (reads {character.reads}, writes {character.writes},"
+        f" {character.write_fraction:.0%} writes)",
+        f"distinct blocks:        {character.distinct_blocks:>8}",
+        f"top-100 share:          {character.top_100_share:>8.1%}",
+        f"top-1018 share:         {character.top_1018_share:>8.1%}",
+        f"reads top-100 share:    {character.read_top_100_share:>8.1%}",
+        f"distinct write targets: {character.write_distinct_blocks:>8}",
+        f"writes top-30 share:    {character.write_top_30_share:>8.1%}",
+        f"mean sync burst:        {character.mean_write_burst:>8.1f} blocks"
+        f"  (max {character.max_write_burst})",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,224 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Subcommands::
+
+    python -m repro onoff    --disk toshiba --profile system --days 6
+    python -m repro policies --disk toshiba --days 3
+    python -m repro sweep    --disk toshiba --counts 10,50,100,1018
+    python -m repro workload --profile system --out day0.trace
+    python -m repro replay   day0.trace --disk toshiba [--rearrange]
+
+All commands accept ``--hours`` to shorten the measurement day (the paper
+used 15-hour days) and ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.characterize import characterize, render_character
+from .core.analyzer import ReferenceStreamAnalyzer
+from .core.arranger import BlockArranger
+from .core.hotlist import HotBlockList
+from .disk.disk import Disk
+from .disk.label import DiskLabel
+from .disk.models import disk_model
+from .driver.driver import AdaptiveDiskDriver
+from .driver.ioctl import IoctlInterface
+from .driver.queue import make_queue
+from .sim.engine import Simulation
+from .sim.experiment import (
+    ExperimentConfig,
+    run_block_count_sweep,
+    run_onoff_campaign,
+    run_policy_campaign,
+)
+from .stats.metrics import seek_time_reduction_vs_fcfs, summarize_on_off
+from .stats.report import (
+    render_day,
+    render_detail_table,
+    render_onoff_table,
+    render_sweep,
+)
+from .workload.generator import WorkloadGenerator
+from .workload.profiles import PROFILES, profile_for_disk
+from .workload.trace import load_trace, save_trace
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--disk", choices=("toshiba", "fujitsu"), default="toshiba"
+    )
+    parser.add_argument(
+        "--profile", choices=sorted(PROFILES), default="system"
+    )
+    parser.add_argument(
+        "--hours", type=float, default=None,
+        help="length of a measurement day (default: the profile's 15h)",
+    )
+    parser.add_argument("--seed", type=int, default=1993)
+
+
+def _config(args) -> ExperimentConfig:
+    profile = PROFILES[args.profile]
+    if args.hours is not None:
+        profile = profile.scaled(hours=args.hours)
+    return ExperimentConfig(profile=profile, disk=args.disk, seed=args.seed)
+
+
+def cmd_onoff(args) -> int:
+    result = run_onoff_campaign(_config(args), days=args.days)
+    for day in result.days:
+        print(render_day(day.metrics, args.disk))
+    for scope in ("all", "read"):
+        summary = summarize_on_off(result.metrics(), scope)
+        print()
+        print(
+            render_onoff_table(
+                [(args.disk.capitalize(), scope, summary)],
+                f"On/Off summary ({scope} requests)",
+            )
+        )
+    return 0
+
+
+def cmd_policies(args) -> int:
+    columns = []
+    rows = []
+    for policy in ("organ-pipe", "interleaved", "serial"):
+        result = run_policy_campaign(_config(args), policy, days=args.days)
+        day = result.on_days()[-1].metrics
+        columns.append((policy[:12], day.all))
+        rows.append((policy, seek_time_reduction_vs_fcfs(day.all)))
+    print(
+        render_detail_table(
+            columns, f"Placement policies on {args.disk} ({args.profile} FS)"
+        )
+    )
+    print()
+    for policy, reduction in rows:
+        print(f"{policy:<14} seek reduction vs FCFS: {reduction:.0%}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    counts = [int(c) for c in args.counts.split(",")]
+    points = run_block_count_sweep(_config(args), counts)
+    rows = []
+    for count, day in points:
+        m = day.metrics.all
+        rows.append(
+            (
+                count,
+                1 - m.mean_seek_distance / m.fcfs_mean_seek_distance,
+                1 - m.mean_seek_time_ms / m.fcfs_mean_seek_time_ms,
+            )
+        )
+    print(render_sweep(rows, f"Seek reduction vs blocks rearranged ({args.disk})"))
+    return 0
+
+
+def cmd_workload(args) -> int:
+    model = disk_model(args.disk)
+    label = DiskLabel(model.geometry, reserved_cylinders=48)
+    partition = label.add_partition("fs0", label.virtual_total_blocks)
+    profile = profile_for_disk(PROFILES[args.profile], args.disk)
+    if args.hours is not None:
+        profile = profile.scaled(hours=args.hours)
+    generator = WorkloadGenerator(
+        profile, partition, model.geometry.blocks_per_cylinder, seed=args.seed
+    )
+    workload = generator.generate_day()
+    print(render_character(characterize(workload), f"{args.profile} day 0"))
+    if args.out:
+        count = save_trace(workload.jobs, args.out)
+        print(f"\nwrote {count} jobs -> {args.out}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    jobs = load_trace(args.trace)
+    model = disk_model(args.disk)
+    label = DiskLabel(model.geometry, reserved_cylinders=48)
+    driver = AdaptiveDiskDriver(
+        disk=Disk(model), label=label, queue=make_queue(args.queue)
+    )
+    if args.rearrange:
+        analyzer = ReferenceStreamAnalyzer()
+        for job in jobs:
+            for step in job.steps:
+                analyzer.observe(step.logical_block)
+        arranger = BlockArranger(IoctlInterface(driver))
+        hot = HotBlockList.from_pairs(analyzer.hot_blocks())
+        plan, __ = arranger.rearrange(hot, args.blocks, now_ms=0.0)
+        print(f"rearranged {len(plan)} blocks ({plan.policy})")
+        driver.perf_monitor.read_and_clear()
+    simulation = Simulation(driver)
+    simulation.add_jobs(jobs)
+    completed = simulation.run()
+    stats = driver.perf_monitor.stats("all")
+    seek = model.seek.mean_time(stats.scheduled_seek.buckets)
+    print(f"requests:     {len(completed)}")
+    print(f"mean seek:    {seek:.2f} ms")
+    print(f"mean service: {stats.service.mean_ms:.2f} ms")
+    print(f"mean waiting: {stats.queueing.mean_ms:.2f} ms")
+    print(f"zero seeks:   {stats.scheduled_seek.zero_fraction:.0%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive block rearrangement experiments "
+        "(Akyurek & Salem, ICDE 1993)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    onoff = sub.add_parser("onoff", help="alternating on/off campaign")
+    _add_common(onoff)
+    onoff.add_argument("--days", type=int, default=6)
+    onoff.set_defaults(func=cmd_onoff)
+
+    policies = sub.add_parser("policies", help="placement-policy bake-off")
+    _add_common(policies)
+    policies.add_argument("--days", type=int, default=3)
+    policies.set_defaults(func=cmd_policies)
+
+    sweep = sub.add_parser("sweep", help="blocks-rearranged sweep (Fig. 8)")
+    _add_common(sweep)
+    sweep.add_argument("--counts", default="10,25,50,100,200,400,1018")
+    sweep.set_defaults(func=cmd_sweep)
+
+    workload = sub.add_parser(
+        "workload", help="characterize a generated day; optionally save it"
+    )
+    _add_common(workload)
+    workload.add_argument("--out", default=None, help="trace file to write")
+    workload.set_defaults(func=cmd_workload)
+
+    replay = sub.add_parser("replay", help="replay a saved trace")
+    replay.add_argument("trace")
+    replay.add_argument(
+        "--disk", choices=("toshiba", "fujitsu"), default="toshiba"
+    )
+    replay.add_argument(
+        "--queue", choices=("fcfs", "scan", "cscan", "sstf"), default="scan"
+    )
+    replay.add_argument(
+        "--rearrange", action="store_true",
+        help="pre-train rearrangement on the trace itself",
+    )
+    replay.add_argument("--blocks", type=int, default=1018)
+    replay.set_defaults(func=cmd_replay)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

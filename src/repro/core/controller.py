@@ -1,0 +1,94 @@
+"""The daily rearrangement cycle (Sections 4.2 and 5.1).
+
+Ties the user-level pieces together the way the paper's experiments ran:
+
+* during the day, the reference stream analyzer polls the driver's request
+  table every two minutes;
+* at the end of the day, "block reference counts measured during one day
+  were used (at the end of the day) to rearrange blocks for the next day's
+  requests": the reserved area is cleaned and repopulated from the day's
+  hot block list (or just cleaned, for an "off" day);
+* counts are then reset for the next measurement day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from ..driver.ioctl import IoctlInterface
+from .analyzer import ReferenceStreamAnalyzer
+
+if TYPE_CHECKING:  # avoid a circular import with repro.sim
+    from ..sim.engine import Simulation
+from .arranger import BlockArranger, RearrangementPlan
+from .hotlist import HotBlockList
+
+MONITOR_POLL_INTERVAL_MS = 120_000.0
+"""The paper polled the request table every two minutes (Section 4.1.4)."""
+
+
+@dataclass
+class RearrangementController:
+    """Orchestrates monitoring and the nightly rearrangement."""
+
+    ioctl: IoctlInterface
+    analyzer: ReferenceStreamAnalyzer = field(
+        default_factory=ReferenceStreamAnalyzer
+    )
+    arranger: BlockArranger | None = None
+    poll_interval_ms: float = MONITOR_POLL_INTERVAL_MS
+    last_plan: RearrangementPlan | None = None
+
+    def __post_init__(self) -> None:
+        if self.arranger is None:
+            self.arranger = BlockArranger(self.ioctl)
+
+    # ------------------------------------------------------------------
+    # Daytime monitoring
+    # ------------------------------------------------------------------
+
+    def attach_to(self, simulation: Simulation) -> None:
+        """Register the analyzer's periodic request-table poll."""
+        simulation.add_periodic(
+            self.poll_interval_ms,
+            lambda now_ms: self.analyzer.poll(self.ioctl),
+            name="reference-stream-analyzer",
+        )
+
+    def final_poll(self) -> None:
+        """Drain whatever is left in the request table at day end."""
+        self.analyzer.poll(self.ioctl)
+
+    def hot_list(self) -> HotBlockList:
+        return HotBlockList.from_pairs(self.analyzer.hot_blocks())
+
+    # ------------------------------------------------------------------
+    # End-of-day transitions
+    # ------------------------------------------------------------------
+
+    def end_of_day(
+        self,
+        now_ms: float,
+        rearrange_tomorrow: bool,
+        num_blocks: int,
+    ) -> float:
+        """Run the nightly cycle; returns the time the moves finished.
+
+        If tomorrow is an "on" day, the reserved area is cleaned and
+        repopulated from today's counts; otherwise it is just cleaned
+        (the "off" configuration leaves the reserved region unused).
+        Today's counts are reset either way.
+        """
+        self.final_poll()
+        assert self.arranger is not None
+        if rearrange_tomorrow:
+            plan, finish = self.arranger.rearrange(
+                self.hot_list(), num_blocks, now_ms
+            )
+            self.last_plan = plan
+        else:
+            finish = self.ioctl.clean(now_ms)
+            self.last_plan = None
+        self.analyzer.reset()
+        return finish

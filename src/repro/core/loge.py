@@ -1,0 +1,136 @@
+"""A Loge-style self-organizing write-anywhere controller.
+
+English & Stepanov's Loge controller [English 92] "transparently
+reorganizes blocks each time they are written to reduce seek and
+rotational delay.  Simulation studies of the controller show that it can
+reduce write service times, but the savings come at the expense of
+increased read service times" (Section 1.1).  The paper contrasts its
+own technique — which preserves the file system's placement and speeds up
+*both* reads and writes — against this write-optimizing design.
+
+:class:`LogeDriver` implements the comparison baseline: every write is
+redirected to the free physical block nearest the disk head's current
+position, maintaining an indirection map for all relocated blocks.  The
+over-provisioned free pool is seeded from the label's reserved cylinders
+(standing in for Loge's spare segments); blocks vacated by relocation
+rejoin the pool, so the pool never shrinks.
+
+Simplification: the target is chosen when the request is accepted rather
+than at the instant the write starts; with the shallow queues of the
+modelled workloads the head position rarely changes in between.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from ..driver.driver import AdaptiveDiskDriver, DriverError
+from ..driver.request import DiskRequest
+
+
+@dataclass
+class FreeBlockPool:
+    """Free physical blocks, ordered, with nearest-to-cylinder lookup."""
+
+    blocks: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.blocks.sort()
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def add(self, block: int) -> None:
+        index = bisect.bisect_left(self.blocks, block)
+        if index < len(self.blocks) and self.blocks[index] == block:
+            raise ValueError(f"block {block} is already free")
+        self.blocks.insert(index, block)
+
+    def take_nearest(self, target_block: int) -> int:
+        """Remove and return the free block closest to ``target_block``."""
+        if not self.blocks:
+            raise DriverError("free block pool is empty")
+        index = bisect.bisect_left(self.blocks, target_block)
+        candidates = []
+        if index < len(self.blocks):
+            candidates.append(index)
+        if index > 0:
+            candidates.append(index - 1)
+        best = min(
+            candidates, key=lambda i: abs(self.blocks[i] - target_block)
+        )
+        return self.blocks.pop(best)
+
+
+class LogeDriver(AdaptiveDiskDriver):
+    """The write-anywhere baseline: redirect each write near the head."""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.label.is_rearranged:
+            raise DriverError(
+                "LogeDriver seeds its free pool from the reserved "
+                "cylinders; initialize the label with reserved space"
+            )
+        self.free_pool = FreeBlockPool(list(self.label.reserved_data_blocks()))
+        # logical-home physical block -> current physical block
+        self.indirection: dict[int, int] = {}
+        self.relocations = 0
+
+    def strategy(self, request: DiskRequest, now_ms: float) -> float | None:
+        if now_ms < request.arrival_ms:
+            raise DriverError("strategy called before the request's arrival")
+        if request.size_blocks != 1:
+            raise DriverError("LogeDriver takes single-block requests")
+
+        physical = self.label.virtual_to_physical_block(request.logical_block)
+        request.physical_block = physical
+        request.home_cylinder = self.disk.geometry.cylinder_of_block(physical)
+
+        if request.is_read:
+            request.target_block = self.indirection.get(physical, physical)
+            request.redirected = request.target_block != physical
+        else:
+            request.target_block = self._relocate_write(physical)
+            request.redirected = request.target_block != physical
+
+        self.request_monitor.record(request)
+        self.perf_monitor.note_arrival(request)
+        cylinder = self.disk.geometry.cylinder_of_block(request.target_block)
+        self.queue.push(request, cylinder)
+        if not self.busy:
+            return self._start_next(now_ms)
+        return None
+
+    def _relocate_write(self, physical: int) -> int:
+        """Pick the write target nearest the head; recycle the old block."""
+        head_block = self.disk.geometry.block_at(self.disk.head_cylinder, 0)
+        target = self.free_pool.take_nearest(head_block)
+        old = self.indirection.get(physical)
+        if old is not None:
+            self.free_pool.add(old)
+        else:
+            # First relocation: the block's home location becomes free.
+            self.free_pool.add(physical)
+        self.indirection[physical] = target
+        self.relocations += 1
+        return target
+
+    def _apply_write(self, request: DiskRequest) -> None:
+        # No dirty-bit bookkeeping: the indirection map *is* the layout.
+        if request.tag is not None:
+            assert request.target_block is not None
+            self.disk.write_data(request.target_block, request.tag)
+
+    def read_data(self, logical_block: int) -> object:
+        physical = self.label.virtual_to_physical_block(logical_block)
+        target = self.indirection.get(physical, physical)
+        return self.disk.read_data(target)
+
+    # The block-movement ioctls make no sense for this baseline.
+    def bcopy(self, logical_block: int, reserved_block: int, now_ms: float):
+        raise DriverError("LogeDriver does not support DKIOCBCOPY")
+
+    def clean(self, now_ms: float):
+        raise DriverError("LogeDriver does not support DKIOCCLEAN")

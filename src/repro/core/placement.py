@@ -1,0 +1,251 @@
+"""Placement policies for the reserved region (Section 4.2, Figure 3).
+
+Given the hot block list and the reserved area's cylinders, a policy
+decides which reserved-area physical block each hot block is copied to:
+
+* **Organ-pipe** — the hottest blocks fill the *center* cylinder of the
+  reserved area; the next hottest fill one adjacent cylinder, then the
+  other, alternating outward, so the cylinder reference distribution forms
+  an organ pipe.
+
+* **Interleaved** — like organ-pipe in cylinder fill order, but tries to
+  preserve the file system's rotational interleaving: if block Y lies the
+  interleave gap after block X on the original disk and Y's estimated
+  frequency is "close" to X's (at least 50 %, the paper's arbitrary
+  choice), Y is deemed X's file successor and is placed the same gap after
+  X inside the reserved cylinder.  Chains of successors are followed until
+  a successor cannot be placed or does not exist.
+
+* **Serial** — frequency decides *which* blocks move, but placement is
+  simply ascending original-block-number order across the reserved area.
+  The paper's control policy showing that placement (not just relocation)
+  matters.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..disk.geometry import DiskGeometry
+from ..disk.label import DiskLabel
+from .hotlist import HotBlockList
+
+CLOSE_FREQUENCY_RATIO = 0.5
+"""Y is a successor of X only if count(Y) >= 0.5 * count(X) (Section 4.2)."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One planned copy: a hot block and its reserved-area destination."""
+
+    logical_block: int
+    reserved_block: int
+    rank: int  # position in the hot block list (0 = hottest)
+
+
+@dataclass(frozen=True)
+class ReservedCylinder:
+    """One reserved cylinder's usable data blocks, in layout order."""
+
+    cylinder: int
+    blocks: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ReservedLayout:
+    """The reserved area, cylinder by cylinder, in disk order."""
+
+    cylinders: tuple[ReservedCylinder, ...]
+
+    @classmethod
+    def from_label(cls, label: DiskLabel) -> "ReservedLayout":
+        """Group the label's reserved data blocks by cylinder."""
+        if not label.is_rearranged:
+            raise ValueError("disk has no reserved area")
+        geometry: DiskGeometry = label.geometry
+        by_cylinder: dict[int, list[int]] = {}
+        for block in label.reserved_data_blocks():
+            by_cylinder.setdefault(
+                geometry.cylinder_of_block(block), []
+            ).append(block)
+        cylinders = tuple(
+            ReservedCylinder(cylinder=cyl, blocks=tuple(sorted(blocks)))
+            for cyl, blocks in sorted(by_cylinder.items())
+        )
+        return cls(cylinders)
+
+    @property
+    def capacity(self) -> int:
+        return sum(len(c.blocks) for c in self.cylinders)
+
+    def center_out_indices(self) -> list[int]:
+        """Cylinder indices in organ-pipe fill order: center, then
+        alternating adjacent cylinders outward."""
+        n = len(self.cylinders)
+        center = n // 2
+        order = [center]
+        for step in range(1, n):
+            for candidate in (center + step, center - step):
+                if 0 <= candidate < n and candidate not in order:
+                    order.append(candidate)
+        return order[:n]
+
+    def blocks_in_ascending_order(self) -> list[int]:
+        blocks: list[int] = []
+        for cylinder in self.cylinders:
+            blocks.extend(cylinder.blocks)
+        return sorted(blocks)
+
+
+class PlacementPolicy(ABC):
+    """Interface: map a hot block list onto the reserved layout."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def place(
+        self, hot_list: HotBlockList, layout: ReservedLayout
+    ) -> list[Placement]:
+        """Plan the copies.  ``hot_list`` must already be truncated to the
+        number of blocks to rearrange; policies place every entry that
+        fits (and silently drop overflow beyond the area's capacity)."""
+
+
+class OrganPipePlacement(PlacementPolicy):
+    """Hottest blocks to the center cylinder, alternating outward."""
+
+    name = "organ-pipe"
+
+    def place(
+        self, hot_list: HotBlockList, layout: ReservedLayout
+    ) -> list[Placement]:
+        placements: list[Placement] = []
+        slots = _center_out_slots(layout)
+        for rank, entry in enumerate(hot_list):
+            if rank >= len(slots):
+                break
+            placements.append(
+                Placement(
+                    logical_block=entry.block,
+                    reserved_block=slots[rank],
+                    rank=rank,
+                )
+            )
+        return placements
+
+
+class SerialPlacement(PlacementPolicy):
+    """Selected blocks placed in ascending original-block-number order."""
+
+    name = "serial"
+
+    def place(
+        self, hot_list: HotBlockList, layout: ReservedLayout
+    ) -> list[Placement]:
+        slots = layout.blocks_in_ascending_order()
+        chosen = list(hot_list)[: len(slots)]
+        rank_of = {entry.block: rank for rank, entry in enumerate(hot_list)}
+        ordered = sorted(chosen, key=lambda entry: entry.block)
+        return [
+            Placement(
+                logical_block=entry.block,
+                reserved_block=slot,
+                rank=rank_of[entry.block],
+            )
+            for entry, slot in zip(ordered, slots)
+        ]
+
+
+class InterleavedPlacement(PlacementPolicy):
+    """Organ-pipe fill order, preserving file-successor interleave gaps."""
+
+    name = "interleaved"
+
+    def __init__(self, gap_blocks: int = 2) -> None:
+        """``gap_blocks`` is the original-layout block-number distance
+        between a block and its file successor: the file system's
+        rotational interleave plus one (FFS ``rotdelay`` of one block gives
+        a gap of 2 block numbers)."""
+        if gap_blocks < 1:
+            raise ValueError("gap_blocks must be at least 1")
+        self.gap_blocks = gap_blocks
+
+    def place(
+        self, hot_list: HotBlockList, layout: ReservedLayout
+    ) -> list[Placement]:
+        counts = {entry.block: entry.count for entry in hot_list}
+        rank_of = {entry.block: rank for rank, entry in enumerate(hot_list)}
+        unplaced = dict(counts)  # insertion order == hot order
+        placements: list[Placement] = []
+
+        cylinder_order = layout.center_out_indices()
+        for cylinder_index in cylinder_order:
+            cylinder = layout.cylinders[cylinder_index]
+            free = [True] * len(cylinder.blocks)
+            cursor = 0
+            while unplaced and cursor < len(free):
+                if not free[cursor]:
+                    cursor += 1
+                    continue
+                chain_head = self._hottest(unplaced)
+                slot = cursor
+                block = chain_head
+                while block is not None and slot < len(free) and free[slot]:
+                    placements.append(
+                        Placement(
+                            logical_block=block,
+                            reserved_block=cylinder.blocks[slot],
+                            rank=rank_of[block],
+                        )
+                    )
+                    free[slot] = False
+                    del unplaced[block]
+                    block = self._successor(block, counts, unplaced)
+                    slot += self.gap_blocks
+            if not unplaced:
+                break
+        return placements
+
+    @staticmethod
+    def _hottest(unplaced: dict[int, int]) -> int:
+        return max(unplaced, key=lambda b: (unplaced[b], -b))
+
+    def _successor(
+        self,
+        block: int,
+        counts: dict[int, int],
+        unplaced: dict[int, int],
+    ) -> int | None:
+        """The file-successor guess of Section 4.2: the block one interleave
+        gap later whose frequency is close to this block's."""
+        candidate = block + self.gap_blocks
+        if candidate not in unplaced:
+            return None
+        if counts[candidate] < CLOSE_FREQUENCY_RATIO * counts[block]:
+            return None
+        return candidate
+
+
+def _center_out_slots(layout: ReservedLayout) -> list[int]:
+    """All reserved blocks in organ-pipe fill order."""
+    slots: list[int] = []
+    for cylinder_index in layout.center_out_indices():
+        slots.extend(layout.cylinders[cylinder_index].blocks)
+    return slots
+
+
+PLACEMENT_POLICIES: dict[str, type[PlacementPolicy]] = {
+    OrganPipePlacement.name: OrganPipePlacement,
+    InterleavedPlacement.name: InterleavedPlacement,
+    SerialPlacement.name: SerialPlacement,
+}
+
+
+def make_policy(name: str, **kwargs) -> PlacementPolicy:
+    """Instantiate a placement policy by name."""
+    try:
+        return PLACEMENT_POLICIES[name.lower()](**kwargs)
+    except KeyError:
+        known = ", ".join(sorted(PLACEMENT_POLICIES))
+        raise KeyError(f"unknown policy {name!r}; known: {known}") from None

@@ -1,0 +1,54 @@
+"""Disk mechanics substrate: geometry, seek/rotation models, drive presets.
+
+This subpackage simulates the physical drives the paper measured
+(Toshiba MK156F and Fujitsu M2266, Table 1): address arithmetic, the
+published piecewise seek-time functions, a rotational-position model, the
+Fujitsu's read-ahead track buffer, and the disk-label machinery that hides
+the reserved cylinders from the file system.
+"""
+
+from .disk import Disk, ServiceBreakdown
+from .geometry import (
+    DEFAULT_BLOCK_BYTES,
+    SECTOR_BYTES,
+    BlockAddress,
+    DiskGeometry,
+)
+from .label import (
+    BLOCK_TABLE_BLOCKS,
+    REARRANGED_MAGIC,
+    DiskLabel,
+    Partition,
+)
+from .models import (
+    DISK_MODELS,
+    FUJITSU_M2266,
+    TOSHIBA_MK156F,
+    DiskModel,
+    disk_model,
+)
+from .rotation import RotationModel
+from .seek import SeekCurve, SeekModel
+from .trackbuffer import TrackBuffer
+
+__all__ = [
+    "BLOCK_TABLE_BLOCKS",
+    "BlockAddress",
+    "DEFAULT_BLOCK_BYTES",
+    "DISK_MODELS",
+    "Disk",
+    "DiskGeometry",
+    "DiskLabel",
+    "DiskModel",
+    "FUJITSU_M2266",
+    "Partition",
+    "REARRANGED_MAGIC",
+    "RotationModel",
+    "SECTOR_BYTES",
+    "SeekCurve",
+    "SeekModel",
+    "ServiceBreakdown",
+    "TOSHIBA_MK156F",
+    "TrackBuffer",
+    "disk_model",
+]

@@ -1,0 +1,103 @@
+"""Drive presets: the two disks from the paper's Table 1.
+
+Geometry and the piecewise seek-time functions are transcribed exactly from
+the paper.  The one parameter the paper does not publish directly is the
+fixed per-request controller/bus overhead; it is calibrated so that
+``seek + rotation + transfer + overhead`` reproduces the paper's measured
+no-rearrangement mean service times (Tables 2 and 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .geometry import DiskGeometry
+from .seek import SeekCurve, SeekModel
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Everything needed to instantiate a simulated drive."""
+
+    name: str
+    geometry: DiskGeometry
+    seek: SeekModel
+    controller_overhead_ms: float = 0.0
+    track_buffer_bytes: int | None = None
+    track_buffer_transfer_ms: float = 2.0
+
+    def with_geometry(self, geometry: DiskGeometry) -> "DiskModel":
+        """A copy of this model with substituted geometry (used by tests)."""
+        seek = replace(
+            self.seek,
+            max_cylinders=geometry.cylinders,
+            name=self.seek.name,
+        )
+        return replace(self, geometry=geometry, seek=seek)
+
+
+def _toshiba_mk156f() -> DiskModel:
+    geometry = DiskGeometry(
+        cylinders=815,
+        tracks_per_cylinder=10,
+        sectors_per_track=34,
+        rpm=3600.0,
+    )
+    seek = SeekModel(
+        short=SeekCurve(a=6.248, b=1.393, c=-0.99, e=0.813),
+        long=SeekCurve(a=17.503, b=0.03, linear=True),
+        crossover=315,  # short branch applies for d < 315
+        max_cylinders=geometry.cylinders,
+        name="toshiba-mk156f",
+    )
+    return DiskModel(
+        name="Toshiba MK156F",
+        geometry=geometry,
+        seek=seek,
+        controller_overhead_ms=4.0,
+    )
+
+
+def _fujitsu_m2266() -> DiskModel:
+    geometry = DiskGeometry(
+        cylinders=1658,
+        tracks_per_cylinder=15,
+        sectors_per_track=85,
+        rpm=3600.0,
+    )
+    seek = SeekModel(
+        short=SeekCurve(a=1.205, b=0.65, c=-0.734, e=0.659),
+        long=SeekCurve(a=7.44, b=0.0114, linear=True),
+        crossover=226,  # short branch applies for d <= 225
+        max_cylinders=geometry.cylinders,
+        name="fujitsu-m2266",
+    )
+    return DiskModel(
+        name="Fujitsu M2266",
+        geometry=geometry,
+        seek=seek,
+        controller_overhead_ms=2.2,
+        track_buffer_bytes=256 * 1024,
+        track_buffer_transfer_ms=2.0,
+    )
+
+
+TOSHIBA_MK156F = _toshiba_mk156f()
+"""The paper's 135 MB Toshiba MK156F SCSI disk (Table 1)."""
+
+FUJITSU_M2266 = _fujitsu_m2266()
+"""The paper's 1 GB Fujitsu M2266 SCSI disk with track buffer (Table 1)."""
+
+DISK_MODELS = {
+    "toshiba": TOSHIBA_MK156F,
+    "fujitsu": FUJITSU_M2266,
+}
+
+
+def disk_model(name: str) -> DiskModel:
+    """Look up a preset by short name (``"toshiba"`` or ``"fujitsu"``)."""
+    try:
+        return DISK_MODELS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(DISK_MODELS))
+        raise KeyError(f"unknown disk model {name!r}; known: {known}") from None

@@ -1,0 +1,92 @@
+"""Read-ahead track buffer (the Fujitsu M2266's 256 KB buffer).
+
+"With read-ahead buffering, when requested data is read off the recording
+media into the disk's buffer, the disk continues reading data into its
+buffer even after the requested piece of data is read.  Later, if blocks
+that are already in the buffer are requested they are simply transferred to
+the host from disk's buffer." (Section 5)
+
+The model works at file-system-block granularity.  After a media read of
+block *b*, the buffer holds *b* and the blocks that follow it on the same
+cylinder, up to the buffer's capacity — the drive keeps reading as the
+platter spins but will not seek on the host's behalf.  A later *read* of a
+buffered block is a hit and costs only the host transfer time.  A write
+invalidates any overlapping buffered block (the buffer is not a write
+cache).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .geometry import DiskGeometry
+
+
+@dataclass
+class TrackBuffer:
+    """Read-ahead buffer holding recently passed-over blocks.
+
+    ``capacity_bytes`` bounds how far the drive reads ahead.
+    ``host_transfer_ms`` is the time to move one block from the buffer to
+    the host over the SCSI bus (the only cost of a buffer hit).
+    """
+
+    geometry: DiskGeometry
+    capacity_bytes: int
+    host_transfer_ms: float = 2.0
+    hits: int = 0
+    misses: int = 0
+    _cached: set[int] = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes < self.geometry.block_bytes:
+            raise ValueError("buffer must hold at least one block")
+        if self.host_transfer_ms < 0:
+            raise ValueError("host_transfer_ms must be non-negative")
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.capacity_bytes // self.geometry.block_bytes
+
+    def contains(self, block: int) -> bool:
+        """True if a read of ``block`` would hit the buffer."""
+        return block in self._cached
+
+    def lookup_read(self, block: int) -> bool:
+        """Record a read probe; returns True on a buffer hit."""
+        if block in self._cached:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill_after_read(self, block: int) -> None:
+        """Refill the buffer following a media read of ``block``.
+
+        The buffer is replaced by ``block`` and its successors on the same
+        cylinder, clipped to the buffer capacity: read-ahead follows the
+        platter but does not seek.
+        """
+        cylinder_blocks = self.geometry.blocks_of_cylinder(
+            self.geometry.cylinder_of_block(block)
+        )
+        end = min(block + self.capacity_blocks, cylinder_blocks.stop)
+        self._cached = set(range(block, end))
+
+    def invalidate_write(self, block: int) -> None:
+        """Drop ``block`` from the buffer after it is overwritten."""
+        self._cached.discard(block)
+
+    def invalidate_all(self) -> None:
+        self._cached.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,56 @@
+"""Device-driver substrate: the paper's modified SCSI disk driver.
+
+Implements the strategy path (label mapping, block-table redirection, SCAN
+queueing), the block-movement ioctls (``DKIOCBCOPY``/``DKIOCCLEAN``), the
+request and performance monitoring tables, and the raw-interface request
+splitting — Section 4.1 of the paper, in simulation form.
+"""
+
+from .blocktable import BlockTable, BlockTableEntry
+from .driver import AdaptiveDiskDriver, DriverError, RearrangementIOCounter
+from .ioctl import IoctlCommand, IoctlInterface, ReservedAreaInfo
+from .monitor import (
+    ClassStats,
+    PerformanceMonitor,
+    RequestMonitor,
+    RequestRecord,
+)
+from .physio import physio, split_raw_request
+from .queue import (
+    QUEUE_POLICIES,
+    CScanQueue,
+    DiskQueue,
+    FCFSQueue,
+    SSTFQueue,
+    ScanQueue,
+    make_queue,
+)
+from .request import DiskRequest, Op, read_request, write_request
+
+__all__ = [
+    "AdaptiveDiskDriver",
+    "BlockTable",
+    "BlockTableEntry",
+    "CScanQueue",
+    "ClassStats",
+    "DiskQueue",
+    "DiskRequest",
+    "DriverError",
+    "FCFSQueue",
+    "IoctlCommand",
+    "IoctlInterface",
+    "Op",
+    "PerformanceMonitor",
+    "QUEUE_POLICIES",
+    "RearrangementIOCounter",
+    "RequestMonitor",
+    "RequestRecord",
+    "ReservedAreaInfo",
+    "SSTFQueue",
+    "ScanQueue",
+    "make_queue",
+    "physio",
+    "read_request",
+    "split_raw_request",
+    "write_request",
+]

@@ -1,0 +1,146 @@
+"""The block table: redirection map for rearranged blocks.
+
+Section 4.1.2: when a block is copied into the reserved space, its old and
+new physical addresses are entered into the block table; the strategy
+routine consults the table on every request.  A copy of the table is stored
+at the beginning of the reserved area for start-up and recovery.  The disk
+copy always correctly lists the rearranged blocks and their reserved-area
+positions, but its *dirty bits* may be stale — so after a crash every entry
+is conservatively marked dirty, ensuring updates to repositioned blocks are
+never lost.
+
+This module models both the in-memory table and its on-disk copy; writing
+the disk copy is an explicit step (:meth:`BlockTable.write_to_disk`) so the
+crash-recovery semantics can be exercised by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BlockTableEntry:
+    """One rearranged block: original home, reserved-area copy, dirty bit."""
+
+    original_block: int
+    reserved_block: int
+    dirty: bool = False
+
+
+@dataclass
+class BlockTable:
+    """In-memory block table plus its on-disk shadow.
+
+    ``capacity`` bounds the number of entries (the reserved area's data
+    capacity); ``None`` means unbounded.
+    """
+
+    capacity: int | None = None
+    _by_original: dict[int, BlockTableEntry] = field(default_factory=dict)
+    _by_reserved: dict[int, int] = field(default_factory=dict)
+    _disk_copy: dict[int, tuple[int, bool]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # In-memory operations
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._by_original)
+
+    def __contains__(self, original_block: int) -> bool:
+        return original_block in self._by_original
+
+    def lookup(self, original_block: int) -> BlockTableEntry | None:
+        """Entry for ``original_block``, or None if it is not rearranged."""
+        return self._by_original.get(original_block)
+
+    def original_of(self, reserved_block: int) -> int | None:
+        """Original home of the block stored at ``reserved_block``."""
+        return self._by_reserved.get(reserved_block)
+
+    def add(self, original_block: int, reserved_block: int) -> BlockTableEntry:
+        """Register a block just copied into the reserved area (clean)."""
+        if original_block in self._by_original:
+            raise ValueError(f"block {original_block} is already rearranged")
+        if reserved_block in self._by_reserved:
+            raise ValueError(
+                f"reserved block {reserved_block} is already occupied"
+            )
+        if self.capacity is not None and len(self) >= self.capacity:
+            raise ValueError("block table is full")
+        entry = BlockTableEntry(original_block, reserved_block)
+        self._by_original[original_block] = entry
+        self._by_reserved[reserved_block] = original_block
+        return entry
+
+    def remove(self, original_block: int) -> BlockTableEntry:
+        """Drop the entry for a block moved back to its original home."""
+        try:
+            entry = self._by_original.pop(original_block)
+        except KeyError:
+            raise KeyError(
+                f"block {original_block} is not in the block table"
+            ) from None
+        del self._by_reserved[entry.reserved_block]
+        return entry
+
+    def mark_dirty(self, original_block: int) -> None:
+        """Record that the reserved-area copy has been updated."""
+        entry = self._by_original.get(original_block)
+        if entry is None:
+            raise KeyError(f"block {original_block} is not in the block table")
+        entry.dirty = True
+
+    def entries(self) -> list[BlockTableEntry]:
+        """All entries, in insertion order."""
+        return list(self._by_original.values())
+
+    def dirty_entries(self) -> list[BlockTableEntry]:
+        return [entry for entry in self._by_original.values() if entry.dirty]
+
+    def occupied_reserved_blocks(self) -> set[int]:
+        return set(self._by_reserved)
+
+    def clear(self) -> None:
+        self._by_original.clear()
+        self._by_reserved.clear()
+
+    # ------------------------------------------------------------------
+    # On-disk copy and crash recovery
+    # ------------------------------------------------------------------
+
+    def write_to_disk(self) -> None:
+        """Flush the current table to its reserved-area disk copy.
+
+        The driver forces this after every ``DKIOCBCOPY`` and after each
+        block is moved out during ``DKIOCCLEAN`` (Section 4.1.3).
+        """
+        self._disk_copy = {
+            entry.original_block: (entry.reserved_block, entry.dirty)
+            for entry in self._by_original.values()
+        }
+
+    def disk_copy(self) -> dict[int, tuple[int, bool]]:
+        """A snapshot view of the on-disk table (for tests/inspection)."""
+        return dict(self._disk_copy)
+
+    def crash(self) -> None:
+        """Simulate a system crash: the in-memory table is lost."""
+        self._by_original.clear()
+        self._by_reserved.clear()
+
+    def recover(self) -> None:
+        """Rebuild the in-memory table from the disk copy after a crash.
+
+        All entries are marked dirty regardless of their stored bits: "all
+        blocks are marked as dirty when memory-resident copy of the table is
+        recreated after a failure.  This conservative strategy ensures that
+        updates to repositioned blocks will not be lost" (Section 4.1.2).
+        """
+        self._by_original.clear()
+        self._by_reserved.clear()
+        for original, (reserved, __) in self._disk_copy.items():
+            entry = BlockTableEntry(original, reserved, dirty=True)
+            self._by_original[original] = entry
+            self._by_reserved[reserved] = original

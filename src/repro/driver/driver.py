@@ -1,0 +1,290 @@
+"""The adaptive device driver (Section 4.1).
+
+:class:`AdaptiveDiskDriver` is the modified SCSI driver of the paper, in
+simulation form.  It owns:
+
+* the **strategy** path — logical-to-physical mapping through the disk
+  label, block-table redirection of rearranged blocks, request/performance
+  monitoring, and the disk queue (SCAN by default, as in the measured
+  system);
+* the **block movement** entry points used by the user-level block arranger
+  (``DKIOCBCOPY`` / ``DKIOCCLEAN``, Section 4.1.3), including the paper's
+  exact I/O cost accounting (3 I/Os per copy-in; 1 I/O per move-out plus 2
+  extra when the block is dirty);
+* the **attach** semantics — on start-up a rearranged disk's block table is
+  read back from the reserved area, conservatively marking every entry
+  dirty after a crash.
+
+The driver is clocked externally: the simulation engine calls
+:meth:`strategy` when a request arrives and :meth:`complete` when the disk
+finishes an operation; both return the completion time of any newly started
+disk operation so the engine can schedule the next event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..disk.disk import Disk, ServiceBreakdown
+from ..disk.label import DiskLabel
+from .blocktable import BlockTable
+from .monitor import PerformanceMonitor, RequestMonitor
+from .queue import DiskQueue, ScanQueue
+from .request import DiskRequest
+
+
+class DriverError(Exception):
+    """Raised on misuse of the driver (bad addresses, busy conflicts...)."""
+
+
+@dataclass
+class RearrangementIOCounter:
+    """I/O operations spent moving blocks (Section 4.1.3 accounting)."""
+
+    copy_in_ios: int = 0
+    move_out_ios: int = 0
+    table_write_ios: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.copy_in_ios + self.move_out_ios + self.table_write_ios
+
+
+@dataclass
+class AdaptiveDiskDriver:
+    """The paper's modified disk driver, one instance per physical disk."""
+
+    disk: Disk
+    label: DiskLabel
+    queue: DiskQueue = field(default_factory=ScanQueue)
+    request_monitor: RequestMonitor = field(default_factory=RequestMonitor)
+    perf_monitor: PerformanceMonitor = field(default_factory=PerformanceMonitor)
+    block_table: BlockTable = field(default_factory=BlockTable)
+    io_counter: RearrangementIOCounter = field(
+        default_factory=RearrangementIOCounter
+    )
+    cylinder_map: dict[int, int] | None = None
+    """Optional whole-cylinder permutation (physical -> physical), used by
+    the cylinder-shuffling baseline (:mod:`repro.core.cylshuffle`).  A
+    block whose home cylinder is remapped is served from the mapped
+    cylinder at the same within-cylinder offset.  Applied only when the
+    block table does not already redirect the block."""
+    _current: DiskRequest | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.label.geometry is not self.disk.geometry:
+            if self.label.geometry != self.disk.geometry:
+                raise DriverError("label geometry does not match the disk")
+        if self.label.is_rearranged and self.block_table.capacity is None:
+            self.block_table.capacity = self.label.reserved_capacity_blocks()
+
+    # ------------------------------------------------------------------
+    # Attach / recovery
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Start-up: read the block table back from the reserved area.
+
+        After a crash the in-memory table is rebuilt from the disk copy
+        with every entry marked dirty (Section 4.1.2).
+        """
+        if self.label.is_rearranged:
+            self.block_table.recover()
+
+    # ------------------------------------------------------------------
+    # Strategy path
+    # ------------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None
+
+    @property
+    def current_request(self) -> DiskRequest | None:
+        return self._current
+
+    @property
+    def queued(self) -> int:
+        return len(self.queue)
+
+    def strategy(self, request: DiskRequest, now_ms: float) -> float | None:
+        """Accept a request; start the disk if it is idle.
+
+        Returns the completion time of a newly started disk operation, or
+        ``None`` if the disk was already busy and the request only queued.
+        """
+        if now_ms < request.arrival_ms:
+            raise DriverError("strategy called before the request's arrival")
+        if request.size_blocks != 1:
+            raise DriverError(
+                "strategy takes single-block requests; use physio for "
+                "larger raw transfers"
+            )
+
+        physical = self.label.virtual_to_physical_block(request.logical_block)
+        request.physical_block = physical
+        request.home_cylinder = self.disk.geometry.cylinder_of_block(physical)
+
+        entry = self.block_table.lookup(physical)
+        if entry is not None:
+            request.target_block = entry.reserved_block
+            request.redirected = True
+        else:
+            request.target_block = self._apply_cylinder_map(physical)
+            request.redirected = request.target_block != physical
+
+        self.request_monitor.record(request)
+        self.perf_monitor.note_arrival(request)
+
+        target_cylinder = self.disk.geometry.cylinder_of_block(
+            request.target_block
+        )
+        self.queue.push(request, target_cylinder)
+        if not self.busy:
+            return self._start_next(now_ms)
+        return None
+
+    def complete(self, now_ms: float) -> tuple[DiskRequest, float | None]:
+        """Finish the in-flight operation; start the next queued one.
+
+        Returns ``(completed request, completion time of next op or None)``.
+        """
+        if self._current is None:
+            raise DriverError("complete called with no operation in flight")
+        request = self._current
+        self._current = None
+        request.complete_ms = now_ms
+        self.perf_monitor.note_completion(request)
+        next_completion = None
+        if self.queue:
+            next_completion = self._start_next(now_ms)
+        return request, next_completion
+
+    def _start_next(self, now_ms: float) -> float:
+        request = self.queue.pop(self.disk.head_cylinder)
+        assert request.target_block is not None
+        breakdown = self.disk.access(
+            request.target_block, request.is_read, now_ms
+        )
+        self._apply_breakdown(request, breakdown, now_ms)
+        if not request.is_read:
+            self._apply_write(request)
+        self._current = request
+        return breakdown.finish_ms
+
+    def _apply_breakdown(
+        self,
+        request: DiskRequest,
+        breakdown: ServiceBreakdown,
+        now_ms: float,
+    ) -> None:
+        request.submit_ms = now_ms
+        request.seek_distance = breakdown.seek_distance
+        request.seek_ms = breakdown.seek_ms
+        request.rotation_ms = breakdown.rotation_ms
+        request.transfer_ms = breakdown.transfer_ms
+        request.buffer_hit = breakdown.buffer_hit
+
+    def _apply_cylinder_map(self, physical_block: int) -> int:
+        """Remap a block through the cylinder permutation, if one is set."""
+        if self.cylinder_map is None:
+            return physical_block
+        per_cyl = self.disk.geometry.blocks_per_cylinder
+        cylinder, index = divmod(physical_block, per_cyl)
+        return self.cylinder_map.get(cylinder, cylinder) * per_cyl + index
+
+    def _apply_write(self, request: DiskRequest) -> None:
+        """Dirty-bit bookkeeping for writes to rearranged blocks."""
+        if request.redirected and request.physical_block in self.block_table:
+            self.block_table.mark_dirty(request.physical_block)
+        if request.tag is not None:
+            assert request.target_block is not None
+            self.disk.write_data(request.target_block, request.tag)
+
+    def read_data(self, logical_block: int) -> object:
+        """Read the current contents of a logical block (test hook).
+
+        Follows the same mapping as the strategy routine, so it observes
+        redirection exactly as the file system would.
+        """
+        physical = self.label.virtual_to_physical_block(logical_block)
+        entry = self.block_table.lookup(physical)
+        if entry is not None:
+            target = entry.reserved_block
+        else:
+            target = self._apply_cylinder_map(physical)
+        return self.disk.read_data(target)
+
+    # ------------------------------------------------------------------
+    # Block movement (DKIOCBCOPY / DKIOCCLEAN, Section 4.1.3)
+    # ------------------------------------------------------------------
+
+    def bcopy(self, logical_block: int, reserved_block: int, now_ms: float) -> float:
+        """Copy one block into the reserved area (``DKIOCBCOPY``).
+
+        Performs three I/O operations — read the original, write the
+        reserved copy, force the block table to disk — mechanically through
+        the drive, and returns the time at which the copy finished.  Must
+        be called while the disk is idle (the experiments rearrange at the
+        end of the day, outside the measurement window).
+        """
+        if self.busy:
+            raise DriverError("cannot move blocks while the disk is busy")
+        if not self.label.is_rearranged:
+            raise DriverError("disk has no reserved area")
+        if not self.label.is_reserved_block(reserved_block):
+            raise DriverError(
+                f"destination {reserved_block} is not in the reserved area"
+            )
+        if reserved_block in self.label.block_table_home_blocks():
+            raise DriverError(
+                f"destination {reserved_block} holds the block-table copy"
+            )
+        physical = self.label.virtual_to_physical_block(logical_block)
+
+        clock = now_ms
+        clock = self.disk.access(physical, True, clock).finish_ms
+        value = self.disk.read_data(physical)
+        clock = self.disk.access(reserved_block, False, clock).finish_ms
+        if value is not None:
+            self.disk.write_data(reserved_block, value)
+        self.io_counter.copy_in_ios += 2
+
+        self.block_table.add(physical, reserved_block)
+        clock = self._write_block_table(clock)
+        return clock
+
+    def clean(self, now_ms: float) -> float:
+        """Empty the reserved area (``DKIOCCLEAN``).
+
+        Dirty blocks are first copied back to their original positions
+        (2 extra I/Os); after each block is moved out the block table is
+        updated and rewritten to disk (1 I/O).  Returns the finish time.
+        """
+        if self.busy:
+            raise DriverError("cannot move blocks while the disk is busy")
+        clock = now_ms
+        for entry in self.block_table.entries():
+            if entry.dirty:
+                clock = self.disk.access(
+                    entry.reserved_block, True, clock
+                ).finish_ms
+                value = self.disk.read_data(entry.reserved_block)
+                clock = self.disk.access(
+                    entry.original_block, False, clock
+                ).finish_ms
+                if value is not None:
+                    self.disk.write_data(entry.original_block, value)
+                self.io_counter.move_out_ios += 2
+            self.block_table.remove(entry.original_block)
+            clock = self._write_block_table(clock)
+        return clock
+
+    def _write_block_table(self, now_ms: float) -> float:
+        """Force the block-table copy in the reserved area to disk."""
+        clock = now_ms
+        for table_block in self.label.block_table_home_blocks():
+            clock = self.disk.access(table_block, False, clock).finish_ms
+        self.block_table.write_to_disk()
+        self.io_counter.table_write_ios += 1
+        return clock

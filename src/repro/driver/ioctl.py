@@ -1,0 +1,96 @@
+"""ioctl-style entry points into the driver (Sections 4.1.3, 4.1.4, 4.1.5).
+
+The paper controls the modified driver from user-level programs through the
+``ioctl`` system call.  :class:`IoctlInterface` is that boundary: the
+user-level reference stream analyzer and block arranger in
+:mod:`repro.core` talk to the driver exclusively through this object, never
+through the driver's internals — mirroring the kernel/user split of the
+real implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..disk.geometry import DiskGeometry
+from .driver import AdaptiveDiskDriver
+from .monitor import ClassStats, RequestRecord
+
+
+class IoctlCommand(Enum):
+    """The driver's special-purpose entry points."""
+
+    DKIOCBCOPY = "bcopy"  # copy a block into the reserved area
+    DKIOCCLEAN = "clean"  # empty the reserved area
+    DKIOCREADREQS = "read_requests"  # read & clear the request table
+    DKIOCREADSTATS = "read_stats"  # read & clear the performance tables
+    DKIOCGGEOM = "get_geometry"  # read disk geometry entries
+
+
+@dataclass(frozen=True)
+class ReservedAreaInfo:
+    """Reserved-area description returned by the geometry ioctl."""
+
+    start_cylinder: int
+    cylinders: int
+    capacity_blocks: int
+    data_blocks: tuple[int, ...]
+    center_cylinder: int
+
+
+@dataclass
+class IoctlInterface:
+    """User-process view of one adaptive driver."""
+
+    driver: AdaptiveDiskDriver
+
+    # -- block movement -------------------------------------------------
+
+    def bcopy(self, logical_block: int, reserved_block: int, now_ms: float) -> float:
+        """``DKIOCBCOPY``: copy ``logical_block`` to ``reserved_block``."""
+        return self.driver.bcopy(logical_block, reserved_block, now_ms)
+
+    def clean(self, now_ms: float) -> float:
+        """``DKIOCCLEAN``: move every rearranged block back home."""
+        return self.driver.clean(now_ms)
+
+    # -- monitoring ------------------------------------------------------
+
+    def read_requests(self) -> list[RequestRecord]:
+        """Read and clear the request-monitoring table (Section 4.1.4)."""
+        return self.driver.request_monitor.read_and_clear()
+
+    def read_stats(self) -> dict[str, ClassStats]:
+        """Read and clear the performance tables (Section 4.1.5)."""
+        return self.driver.perf_monitor.read_and_clear()
+
+    # -- geometry ----------------------------------------------------------
+
+    def get_geometry(self) -> DiskGeometry:
+        return self.driver.disk.geometry
+
+    def get_reserved_area(self) -> ReservedAreaInfo:
+        """Reserved-area layout, as recorded in the disk label."""
+        label = self.driver.label
+        if not label.is_rearranged:
+            raise ValueError("disk is not initialized for rearrangement")
+        assert label.reserved_start_cylinder is not None
+        return ReservedAreaInfo(
+            start_cylinder=label.reserved_start_cylinder,
+            cylinders=label.reserved_cylinders,
+            capacity_blocks=label.reserved_capacity_blocks(),
+            data_blocks=tuple(label.reserved_data_blocks()),
+            center_cylinder=label.reserved_center_cylinder(),
+        )
+
+    def call(self, command: IoctlCommand, *args, **kwargs):
+        """Dispatch by command code, as a real ioctl switch would."""
+        handlers = {
+            IoctlCommand.DKIOCBCOPY: self.bcopy,
+            IoctlCommand.DKIOCCLEAN: self.clean,
+            IoctlCommand.DKIOCREADREQS: self.read_requests,
+            IoctlCommand.DKIOCREADSTATS: self.read_stats,
+            IoctlCommand.DKIOCGGEOM: self.get_geometry,
+        }
+        return handlers[command](*args, **kwargs)

@@ -1,0 +1,159 @@
+"""Request monitoring and performance monitoring (Sections 4.1.4, 4.1.5).
+
+Two independent facilities, both modelled on the paper's driver tables:
+
+* :class:`RequestMonitor` — a small bounded table recording (block number,
+  size, op) for each arriving request.  A user-level process (the reference
+  stream analyzer) periodically reads and clears it; if it fills before
+  being cleared, recording is *suspended* (requests are silently dropped
+  from the record, never from service).
+
+* :class:`PerformanceMonitor` — seek-distance distributions in arrival
+  order (the FCFS counterfactual) and in scheduled order, plus service-time
+  and queueing-time distributions, all kept separately for reads, writes
+  and the combined stream.  Arrival-order distances are computed over the
+  *home* (original, un-rearranged) cylinders so that on rearranged days the
+  counterfactual still reflects "no block rearrangement" (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..stats.histogram import DistanceHistogram, TimeHistogram
+from .request import DiskRequest
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One row of the driver's request table."""
+
+    logical_block: int
+    size_blocks: int
+    is_read: bool
+    arrival_ms: float
+
+
+@dataclass
+class RequestMonitor:
+    """Bounded in-driver request table with read-and-clear semantics."""
+
+    capacity: int = 8192
+    enabled: bool = True
+    suspended_count: int = 0
+    recorded_count: int = 0
+    _table: list[RequestRecord] = field(default_factory=list)
+
+    def record(self, request: DiskRequest) -> None:
+        """Record an arriving request, or count a suspension if full."""
+        if not self.enabled:
+            return
+        if len(self._table) >= self.capacity:
+            self.suspended_count += 1
+            return
+        self._table.append(
+            RequestRecord(
+                logical_block=request.logical_block,
+                size_blocks=request.size_blocks,
+                is_read=request.is_read,
+                arrival_ms=request.arrival_ms,
+            )
+        )
+        self.recorded_count += 1
+
+    def read_and_clear(self) -> list[RequestRecord]:
+        """The ioctl used by the reference stream analyzer (Section 4.1.4)."""
+        records = self._table
+        self._table = []
+        return records
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._table) >= self.capacity
+
+
+@dataclass
+class ClassStats:
+    """Per-class (read/write/all) statistics tables."""
+
+    arrival_seek: DistanceHistogram = field(default_factory=DistanceHistogram)
+    scheduled_seek: DistanceHistogram = field(default_factory=DistanceHistogram)
+    service: TimeHistogram = field(default_factory=TimeHistogram)
+    queueing: TimeHistogram = field(default_factory=TimeHistogram)
+    rotation: TimeHistogram = field(default_factory=TimeHistogram)
+    transfer: TimeHistogram = field(default_factory=TimeHistogram)
+    requests: int = 0
+    buffer_hits: int = 0
+
+
+@dataclass
+class PerformanceMonitor:
+    """The driver's self-measurement tables.
+
+    Call :meth:`note_arrival` when strategy receives a request (this feeds
+    the arrival-order/FCFS seek-distance distribution) and
+    :meth:`note_completion` when the disk finishes it.
+    """
+
+    _classes: dict[str, ClassStats] = field(
+        default_factory=lambda: {
+            "all": ClassStats(),
+            "read": ClassStats(),
+            "write": ClassStats(),
+        }
+    )
+    _last_arrival_cylinder: dict[str, int | None] = field(
+        default_factory=lambda: {"all": None, "read": None, "write": None}
+    )
+
+    def _scopes(self, is_read: bool) -> tuple[str, str]:
+        return ("all", "read" if is_read else "write")
+
+    def note_arrival(self, request: DiskRequest) -> None:
+        if request.home_cylinder is None:
+            raise ValueError("request has no home cylinder; map it first")
+        for scope in self._scopes(request.is_read):
+            stats = self._classes[scope]
+            last = self._last_arrival_cylinder[scope]
+            if last is not None:
+                stats.arrival_seek.record(abs(request.home_cylinder - last))
+            self._last_arrival_cylinder[scope] = request.home_cylinder
+            stats.requests += 1
+
+    def note_completion(self, request: DiskRequest) -> None:
+        if request.seek_distance is None:
+            raise ValueError("request has no service breakdown")
+        for scope in self._scopes(request.is_read):
+            stats = self._classes[scope]
+            stats.scheduled_seek.record(request.seek_distance)
+            stats.service.record(request.service_ms)
+            stats.queueing.record(request.queueing_ms)
+            if request.rotation_ms is not None:
+                stats.rotation.record(request.rotation_ms)
+            if request.transfer_ms is not None:
+                stats.transfer.record(request.transfer_ms)
+            if request.buffer_hit:
+                stats.buffer_hits += 1
+
+    def stats(self, scope: str = "all") -> ClassStats:
+        """Statistics for ``"all"``, ``"read"`` or ``"write"`` requests."""
+        try:
+            return self._classes[scope]
+        except KeyError:
+            raise KeyError(
+                f"unknown scope {scope!r}; use 'all', 'read' or 'write'"
+            ) from None
+
+    def read_and_clear(self) -> dict[str, ClassStats]:
+        """The ioctl semantics: return the tables and reset them."""
+        tables = self._classes
+        self._classes = {
+            "all": ClassStats(),
+            "read": ClassStats(),
+            "write": ClassStats(),
+        }
+        self._last_arrival_cylinder = {"all": None, "read": None, "write": None}
+        return tables

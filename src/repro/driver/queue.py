@@ -1,0 +1,173 @@
+"""Disk queueing (head-scheduling) policies.
+
+The paper's driver "maintains a queue of outstanding requests for each
+physical device, managed using a disk queueing policy" and the measured
+system "implements a SCAN policy" (Sections 3.2 and 5.2).  SCAN is therefore
+the default everywhere; FCFS is needed both as a policy and as the paper's
+counterfactual baseline, and SSTF/C-SCAN are provided for the queue-policy
+ablation benchmark.
+
+A policy holds pending requests keyed by target cylinder and yields the next
+request to service given the current head position.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+from abc import ABC, abstractmethod
+from collections import deque
+
+from .request import DiskRequest
+
+
+class DiskQueue(ABC):
+    """Interface shared by all queueing policies."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def push(self, request: DiskRequest, cylinder: int) -> None:
+        """Enqueue ``request`` whose target lives on ``cylinder``."""
+
+    @abstractmethod
+    def pop(self, head_cylinder: int) -> DiskRequest:
+        """Remove and return the next request to service."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class FCFSQueue(DiskQueue):
+    """First-come-first-served: requests are serviced in arrival order."""
+
+    name = "fcfs"
+
+    def __init__(self) -> None:
+        self._queue: deque[DiskRequest] = deque()
+
+    def push(self, request: DiskRequest, cylinder: int) -> None:
+        self._queue.append(request)
+
+    def pop(self, head_cylinder: int) -> DiskRequest:
+        if not self._queue:
+            raise IndexError("pop from empty disk queue")
+        return self._queue.popleft()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class _SortedCylinderQueue(DiskQueue):
+    """Shared machinery: requests kept sorted by (cylinder, arrival seq)."""
+
+    def __init__(self) -> None:
+        self._keys: list[tuple[int, int]] = []
+        self._requests: list[DiskRequest] = []
+        self._seq = itertools.count()
+
+    def push(self, request: DiskRequest, cylinder: int) -> None:
+        key = (cylinder, next(self._seq))
+        index = bisect.bisect_left(self._keys, key)
+        self._keys.insert(index, key)
+        self._requests.insert(index, request)
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def _pop_index(self, index: int) -> DiskRequest:
+        self._keys.pop(index)
+        return self._requests.pop(index)
+
+    def _first_at_or_above(self, cylinder: int) -> int:
+        """Index of the first queued request on a cylinder >= ``cylinder``."""
+        return bisect.bisect_left(self._keys, (cylinder, -1))
+
+    def _cylinder_at(self, index: int) -> int:
+        return self._keys[index][0]
+
+
+class ScanQueue(_SortedCylinderQueue):
+    """SCAN (elevator): sweep in one direction, reverse at the last request.
+
+    Within a cylinder, requests are serviced in arrival order, which is what
+    produces the paper's zero-length-seek batching once hot blocks share
+    reserved cylinders (Section 5.2).
+    """
+
+    name = "scan"
+
+    def __init__(self, ascending: bool = True) -> None:
+        super().__init__()
+        self.ascending = ascending
+
+    def pop(self, head_cylinder: int) -> DiskRequest:
+        if not self._requests:
+            raise IndexError("pop from empty disk queue")
+        if self.ascending:
+            index = self._first_at_or_above(head_cylinder)
+            if index == len(self._keys):
+                self.ascending = False
+                return self.pop(head_cylinder)
+            return self._pop_index(index)
+        index = self._first_at_or_above(head_cylinder + 1) - 1
+        if index < 0:
+            self.ascending = True
+            return self.pop(head_cylinder)
+        return self._pop_index(index)
+
+
+class CScanQueue(_SortedCylinderQueue):
+    """C-SCAN: sweep upward only, wrapping to the lowest pending cylinder."""
+
+    name = "cscan"
+
+    def pop(self, head_cylinder: int) -> DiskRequest:
+        if not self._requests:
+            raise IndexError("pop from empty disk queue")
+        index = self._first_at_or_above(head_cylinder)
+        if index == len(self._keys):
+            index = 0  # wrap around to the lowest cylinder
+        return self._pop_index(index)
+
+
+class SSTFQueue(_SortedCylinderQueue):
+    """Shortest-seek-time-first: greedily pick the nearest cylinder."""
+
+    name = "sstf"
+
+    def pop(self, head_cylinder: int) -> DiskRequest:
+        if not self._requests:
+            raise IndexError("pop from empty disk queue")
+        above = self._first_at_or_above(head_cylinder)
+        candidates: list[tuple[int, int]] = []  # (distance, index)
+        if above < len(self._keys):
+            candidates.append(
+                (self._cylinder_at(above) - head_cylinder, above)
+            )
+        if above > 0:
+            candidates.append(
+                (head_cylinder - self._cylinder_at(above - 1), above - 1)
+            )
+        __, index = min(candidates)
+        return self._pop_index(index)
+
+
+QUEUE_POLICIES: dict[str, type[DiskQueue]] = {
+    FCFSQueue.name: FCFSQueue,
+    ScanQueue.name: ScanQueue,
+    CScanQueue.name: CScanQueue,
+    SSTFQueue.name: SSTFQueue,
+}
+
+
+def make_queue(policy: str) -> DiskQueue:
+    """Instantiate a queueing policy by name."""
+    try:
+        return QUEUE_POLICIES[policy.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(QUEUE_POLICIES))
+        raise KeyError(f"unknown queue policy {policy!r}; known: {known}") from None

@@ -1,0 +1,105 @@
+"""Disk request records and their lifecycle timestamps.
+
+The paper's driver measures two intervals per request (Section 4.1.5):
+
+* **queueing time** — from the moment the driver first receives the request
+  (the ``strategy`` call) to the moment it is submitted to the disk, and
+* **service time** — from the end of queueing to the moment the request is
+  returned by the disk.
+
+:class:`DiskRequest` carries both the request parameters and those
+timestamps, which are filled in by the driver as the request progresses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Op(Enum):
+    """Request direction."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_read(self) -> bool:
+        return self is Op.READ
+
+
+_request_ids = itertools.count()
+
+
+@dataclass
+class DiskRequest:
+    """One block-sized I/O request as seen by the driver.
+
+    ``logical_block`` is the file system's (virtual-disk) block number.
+    The driver fills in ``physical_block`` (after label mapping),
+    ``target_block`` (after block-table redirection), ``home_cylinder``
+    (the cylinder of the *original, un-rearranged* location — used for the
+    FCFS counterfactual of Tables 3, 8 and 9) and the timestamps.
+    """
+
+    logical_block: int
+    op: Op
+    arrival_ms: float
+    size_blocks: int = 1
+    tag: str | None = None
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    # Filled in by the driver:
+    physical_block: int | None = None
+    target_block: int | None = None
+    home_cylinder: int | None = None
+    redirected: bool = False
+    submit_ms: float | None = None
+    complete_ms: float | None = None
+    seek_distance: int | None = None
+    seek_ms: float | None = None
+    rotation_ms: float | None = None
+    transfer_ms: float | None = None
+    buffer_hit: bool = False
+
+    @property
+    def is_read(self) -> bool:
+        return self.op.is_read
+
+    @property
+    def queueing_ms(self) -> float:
+        """Waiting time: driver receipt to disk submission."""
+        if self.submit_ms is None:
+            raise ValueError("request has not been submitted")
+        return self.submit_ms - self.arrival_ms
+
+    @property
+    def service_ms(self) -> float:
+        """Service time: disk submission to completion."""
+        if self.submit_ms is None or self.complete_ms is None:
+            raise ValueError("request has not completed")
+        return self.complete_ms - self.submit_ms
+
+    @property
+    def response_ms(self) -> float:
+        """Total response time: arrival to completion."""
+        if self.complete_ms is None:
+            raise ValueError("request has not completed")
+        return self.complete_ms - self.arrival_ms
+
+    def __repr__(self) -> str:  # keep noise out of test failures
+        return (
+            f"DiskRequest(#{self.request_id} {self.op.value} "
+            f"lbn={self.logical_block} @{self.arrival_ms:.3f}ms)"
+        )
+
+
+def read_request(logical_block: int, arrival_ms: float, **kwargs) -> DiskRequest:
+    """Convenience constructor for a read request."""
+    return DiskRequest(logical_block, Op.READ, arrival_ms, **kwargs)
+
+
+def write_request(logical_block: int, arrival_ms: float, **kwargs) -> DiskRequest:
+    """Convenience constructor for a write request."""
+    return DiskRequest(logical_block, Op.WRITE, arrival_ms, **kwargs)

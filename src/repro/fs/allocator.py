@@ -1,0 +1,208 @@
+"""FFS-style block allocation: cylinder groups and rotational interleave.
+
+The paper's layouts are produced by the SunOS UFS file system, which is
+"closely related to the Berkeley UNIX Fast File System" (Section 3.1).  The
+two FFS behaviours that matter to the experiments are reproduced here:
+
+* **Cylinder groups** — the partition is divided into groups of consecutive
+  cylinders; a file's inode and data live in one group when possible, and
+  different directories land in different groups.  This spreads hot blocks
+  of *different* files widely over the disk (Section 1.1: "hot blocks from
+  different files may be spread widely over the disk's surface"), which is
+  precisely why rearrangement pays off.
+
+* **Rotational interleave** — "the SunOS UNIX file system ... tries to
+  place successive blocks of a file interleaved by gaps" (Section 4.2).
+  Successive blocks of a file are placed ``1 + interleave`` block slots
+  apart so that, after per-block processing time, the next block arrives
+  under the head without a full-rotation wait.  The interleaved placement
+  policy of the rearranger exists to preserve exactly this property.
+
+Addresses produced here are *partition-relative* block numbers; the file
+system layer (:mod:`repro.fs.ufs`) shifts them by the partition offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+DEFAULT_CYLINDERS_PER_GROUP = 16
+DEFAULT_INODE_BLOCKS_PER_GROUP = 2
+DEFAULT_INTERLEAVE = 1
+
+
+class AllocationError(Exception):
+    """Raised when the allocator cannot satisfy a request."""
+
+
+@dataclass
+class CylinderGroup:
+    """One cylinder group: an inode area followed by a data area."""
+
+    index: int
+    first_block: int
+    num_blocks: int
+    inode_blocks: int
+
+    free: set[int] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.inode_blocks >= self.num_blocks:
+            raise ValueError("inode area must leave room for data blocks")
+        if not self.free:
+            self.free = set(
+                range(
+                    self.first_block + self.inode_blocks,
+                    self.first_block + self.num_blocks,
+                )
+            )
+
+    @property
+    def data_first_block(self) -> int:
+        return self.first_block + self.inode_blocks
+
+    @property
+    def end_block(self) -> int:
+        return self.first_block + self.num_blocks
+
+    @property
+    def free_count(self) -> int:
+        return len(self.free)
+
+    def inode_block_numbers(self) -> list[int]:
+        return list(range(self.first_block, self.first_block + self.inode_blocks))
+
+    def allocate_near(self, position: int, interleave: int) -> int:
+        """Allocate the first free block at or after ``position`` plus the
+        rotational gap, scanning forward with wrap-around within the group.
+
+        ``position`` is the previously allocated block (or the start of the
+        data area for a file's first block).
+        """
+        if not self.free:
+            raise AllocationError(f"cylinder group {self.index} is full")
+        start = position + 1 + interleave
+        span = self.num_blocks
+        for offset in range(span):
+            candidate = self.data_first_block + (
+                (start - self.data_first_block + offset) % (span - self.inode_blocks)
+            )
+            if candidate in self.free:
+                self.free.remove(candidate)
+                return candidate
+        raise AllocationError(f"cylinder group {self.index} is full")
+
+    def release(self, block: int) -> None:
+        if not self.data_first_block <= block < self.end_block:
+            raise ValueError(f"block {block} is not in group {self.index}")
+        if block in self.free:
+            raise ValueError(f"block {block} is already free")
+        self.free.add(block)
+
+
+@dataclass
+class FFSAllocator:
+    """Cylinder-group allocator over a partition of ``total_blocks``."""
+
+    total_blocks: int
+    blocks_per_cylinder: int
+    cylinders_per_group: int = DEFAULT_CYLINDERS_PER_GROUP
+    inode_blocks_per_group: int = DEFAULT_INODE_BLOCKS_PER_GROUP
+    interleave: int = DEFAULT_INTERLEAVE
+    groups: list[CylinderGroup] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total_blocks <= 0:
+            raise ValueError("partition must contain at least one block")
+        if self.groups:
+            return
+        group_blocks = self.blocks_per_cylinder * self.cylinders_per_group
+        if group_blocks <= self.inode_blocks_per_group:
+            raise ValueError("cylinder group too small for its inode area")
+        first = 0
+        index = 0
+        while first < self.total_blocks:
+            size = min(group_blocks, self.total_blocks - first)
+            if size <= self.inode_blocks_per_group:
+                break  # tail too small to be a group; leave unallocated
+            self.groups.append(
+                CylinderGroup(
+                    index=index,
+                    first_block=first,
+                    num_blocks=size,
+                    inode_blocks=self.inode_blocks_per_group,
+                )
+            )
+            first += size
+            index += 1
+        if not self.groups:
+            raise ValueError("partition too small for any cylinder group")
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def group_of_block(self, block: int) -> CylinderGroup:
+        for group in self.groups:
+            if group.first_block <= block < group.end_block:
+                return group
+        raise ValueError(f"block {block} is outside every cylinder group")
+
+    def _group_with_space(self, preferred: int, needed: int) -> CylinderGroup:
+        """Preferred group if it has room, else the next group that does."""
+        order = range(preferred, preferred + self.num_groups)
+        for raw_index in order:
+            group = self.groups[raw_index % self.num_groups]
+            if group.free_count >= needed:
+                return group
+        raise AllocationError("file system is full")
+
+    def allocate_file_blocks(
+        self, num_blocks: int, group_hint: int = 0
+    ) -> list[int]:
+        """Allocate ``num_blocks`` for a new file, interleaved, preferring
+        the hinted cylinder group and spilling to later groups when full."""
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        blocks: list[int] = []
+        remaining = num_blocks
+        hint = group_hint % self.num_groups
+        position: int | None = None
+        while remaining > 0:
+            group = self._group_with_space(hint, 1)
+            if position is None or not (
+                group.data_first_block <= position < group.end_block
+            ):
+                position = group.data_first_block - 1 - self.interleave
+            take = min(remaining, group.free_count)
+            for __ in range(take):
+                position = group.allocate_near(position, self.interleave)
+                blocks.append(position)
+            remaining -= take
+            hint = (group.index + 1) % self.num_groups
+        return blocks
+
+    def extend_file(self, last_block: int, num_blocks: int) -> list[int]:
+        """Allocate blocks appended to a file whose tail is ``last_block``."""
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        blocks: list[int] = []
+        position = last_block
+        group = self.group_of_block(last_block)
+        remaining = num_blocks
+        while remaining > 0:
+            if group.free_count == 0:
+                group = self._group_with_space(group.index + 1, 1)
+                position = group.data_first_block - 1 - self.interleave
+            position = group.allocate_near(position, self.interleave)
+            blocks.append(position)
+            remaining -= 1
+        return blocks
+
+    def release_blocks(self, blocks: list[int]) -> None:
+        for block in blocks:
+            self.group_of_block(block).release(block)
+
+    @property
+    def free_blocks(self) -> int:
+        return sum(group.free_count for group in self.groups)

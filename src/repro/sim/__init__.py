@@ -1,0 +1,44 @@
+"""Discrete-event simulation: the event loop, workload jobs, and the
+paper's day-by-day experiment campaigns."""
+
+from .engine import Simulation
+from .events import Event, EventQueue
+from .experiment import (
+    CampaignResult,
+    DayResult,
+    Experiment,
+    ExperimentConfig,
+    PAPER_REARRANGED_BLOCKS,
+    PAPER_RESERVED_CYLINDERS,
+    alternating_schedule,
+    run_block_count_sweep,
+    run_campaign,
+    run_onoff_campaign,
+    run_policy_campaign,
+)
+from .jobs import Job, Step, batch_job, sequential_job
+from .multifs import FileSystemSpec, MultiFSDayResult, MultiFSExperiment
+
+__all__ = [
+    "CampaignResult",
+    "DayResult",
+    "Event",
+    "EventQueue",
+    "Experiment",
+    "ExperimentConfig",
+    "FileSystemSpec",
+    "Job",
+    "MultiFSDayResult",
+    "MultiFSExperiment",
+    "PAPER_REARRANGED_BLOCKS",
+    "PAPER_RESERVED_CYLINDERS",
+    "Simulation",
+    "Step",
+    "alternating_schedule",
+    "batch_job",
+    "run_block_count_sweep",
+    "run_campaign",
+    "run_onoff_campaign",
+    "run_policy_campaign",
+    "sequential_job",
+]

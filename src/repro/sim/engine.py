@@ -1,0 +1,163 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulation` connects a workload (a set of :class:`~repro.sim.jobs.Job`
+objects) to one :class:`~repro.driver.AdaptiveDiskDriver`.  It owns the
+clock and the event heap; the driver reports completion times for disk
+operations and the engine turns them into events.  Periodic callbacks model
+the user-level daemons (the reference stream analyzer polls the driver's
+request table every two minutes in the paper's experiments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..driver.driver import AdaptiveDiskDriver
+from ..driver.request import DiskRequest
+from .events import EventQueue
+from .jobs import Job
+
+JOB_START = "job-start"
+STEP_ISSUE = "step-issue"
+DISK_COMPLETE = "disk-complete"
+PERIODIC = "periodic"
+
+
+@dataclass
+class _PeriodicTask:
+    interval_ms: float
+    callback: Callable[[float], None]
+    name: str
+
+
+@dataclass
+class Simulation:
+    """Event loop joining jobs, driver and disk."""
+
+    driver: AdaptiveDiskDriver
+    events: EventQueue = field(default_factory=EventQueue)
+    completed: list[DiskRequest] = field(default_factory=list)
+    _outstanding: int = 0
+    _waiting_jobs: dict[int, tuple[Job, int]] = field(default_factory=dict)
+    _completion_scheduled: bool = False
+
+    @property
+    def now_ms(self) -> float:
+        return self.events.now_ms
+
+    # ------------------------------------------------------------------
+    # Workload definition
+    # ------------------------------------------------------------------
+
+    def add_job(self, job: Job) -> None:
+        self.events.push(job.start_ms, JOB_START, job)
+
+    def add_jobs(self, jobs: list[Job]) -> None:
+        for job in jobs:
+            self.add_job(job)
+
+    def add_periodic(
+        self,
+        interval_ms: float,
+        callback: Callable[[float], None],
+        start_offset_ms: float | None = None,
+        name: str = "periodic",
+    ) -> None:
+        """Run ``callback(now_ms)`` every ``interval_ms``.
+
+        Periodic tasks stop firing automatically once no workload remains,
+        so they never keep the simulation alive by themselves.
+        """
+        if interval_ms <= 0:
+            raise ValueError("interval_ms must be positive")
+        task = _PeriodicTask(interval_ms, callback, name)
+        first = start_offset_ms if start_offset_ms is not None else interval_ms
+        self.events.push(self.now_ms + first, PERIODIC, task)
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+
+    def run(self, until_ms: float | None = None) -> list[DiskRequest]:
+        """Process events until the workload drains (or ``until_ms``).
+
+        Returns the list of requests completed during this call, in
+        completion order.
+        """
+        completed_before = len(self.completed)
+        while self.events:
+            next_time = self.events.peek_time()
+            assert next_time is not None
+            if until_ms is not None and next_time > until_ms:
+                break
+            event = self.events.pop()
+            if event.kind == JOB_START:
+                self._start_job(event.payload)
+            elif event.kind == STEP_ISSUE:
+                job, index = event.payload
+                self._issue_step(job, index)
+            elif event.kind == DISK_COMPLETE:
+                self._complete_disk()
+            elif event.kind == PERIODIC:
+                self._run_periodic(event.payload)
+            else:  # pragma: no cover - defensive
+                raise RuntimeError(f"unknown event kind {event.kind!r}")
+        return self.completed[completed_before:]
+
+    @property
+    def has_pending_work(self) -> bool:
+        """True while requests are in flight or jobs are still scheduled."""
+        if self._outstanding > 0:
+            return True
+        work_kinds = (JOB_START, STEP_ISSUE, DISK_COMPLETE)
+        return any(
+            event.kind in work_kinds for __, __, event in self.events._heap
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _start_job(self, job: Job) -> None:
+        if job.sequential:
+            first_think = job.steps[0].think_ms
+            self.events.push(
+                self.now_ms + first_think, STEP_ISSUE, (job, 0)
+            )
+        else:
+            for index in range(len(job.steps)):
+                self._issue_step(job, index)
+
+    def _issue_step(self, job: Job, index: int) -> None:
+        request = job.request_for(index, self.now_ms)
+        self._outstanding += 1
+        if job.sequential and index + 1 < len(job.steps):
+            self._waiting_jobs[request.request_id] = (job, index + 1)
+        completion = self.driver.strategy(request, self.now_ms)
+        if completion is not None:
+            self._schedule_completion(completion)
+
+    def _complete_disk(self) -> None:
+        self._completion_scheduled = False
+        request, next_completion = self.driver.complete(self.now_ms)
+        self._outstanding -= 1
+        self.completed.append(request)
+        follow_up = self._waiting_jobs.pop(request.request_id, None)
+        if follow_up is not None:
+            job, next_index = follow_up
+            think = job.steps[next_index].think_ms
+            self.events.push(self.now_ms + think, STEP_ISSUE, (job, next_index))
+        if next_completion is not None:
+            self._schedule_completion(next_completion)
+
+    def _schedule_completion(self, time_ms: float) -> None:
+        if self._completion_scheduled:  # pragma: no cover - defensive
+            raise RuntimeError("two disk operations in flight")
+        self.events.push(time_ms, DISK_COMPLETE)
+        self._completion_scheduled = True
+
+    def _run_periodic(self, task: _PeriodicTask) -> None:
+        task.callback(self.now_ms)
+        if self.has_pending_work:
+            self.events.push(self.now_ms + task.interval_ms, PERIODIC, task)

@@ -1,0 +1,58 @@
+"""A minimal discrete-event queue.
+
+Events are ``(time_ms, kind, payload)``; ties are broken by insertion
+order, which keeps the simulation deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled occurrence."""
+
+    time_ms: float
+    kind: str
+    payload: Any = None
+
+
+@dataclass
+class EventQueue:
+    """Time-ordered event heap with deterministic tie-breaking."""
+
+    _heap: list[tuple[float, int, Event]] = field(default_factory=list)
+    _seq: itertools.count = field(default_factory=itertools.count)
+    now_ms: float = 0.0
+
+    def push(self, time_ms: float, kind: str, payload: Any = None) -> Event:
+        if time_ms < self.now_ms:
+            raise ValueError(
+                f"cannot schedule at {time_ms} before now ({self.now_ms})"
+            )
+        event = Event(time_ms=time_ms, kind=kind, payload=payload)
+        heapq.heappush(self._heap, (time_ms, next(self._seq), event))
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        time_ms, __, event = heapq.heappop(self._heap)
+        self.now_ms = time_ms
+        return event
+
+    def peek_time(self) -> float | None:
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,313 @@
+"""Experiment campaigns: the paper's measurement methodology (Section 5).
+
+A campaign simulates consecutive measurement days on one disk + file
+system.  Each day:
+
+1. the day's workload is generated and run through the adaptive driver,
+   with the reference stream analyzer polling the request table every two
+   minutes;
+2. the driver's performance tables are read and reduced to
+   :class:`~repro.stats.metrics.DayMetrics`;
+3. at the end of the day the nightly cycle runs: the reserved area is
+   cleaned and — if the *next* day is an "on" day — repopulated from
+   today's reference counts ("block reference counts measured during one
+   day were used (at the end of the day) to rearrange blocks for the next
+   day's requests", Section 5.1).
+
+The module also provides the specific experiment shapes of the paper:
+on/off alternation (Tables 2–6), the placement-policy comparison (Tables
+7–10) and the rearranged-block-count sweep (Figure 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..core.analyzer import ReferenceStreamAnalyzer
+from ..core.arranger import BlockArranger
+from ..core.controller import RearrangementController
+from ..core.placement import make_policy
+from ..disk.disk import Disk
+from ..disk.label import DiskLabel
+from ..disk.models import DiskModel, disk_model
+from ..driver.driver import AdaptiveDiskDriver
+from ..driver.ioctl import IoctlInterface
+from ..driver.queue import make_queue
+from ..stats.metrics import DayMetrics
+from ..workload.generator import DayWorkload, WorkloadGenerator
+from ..workload.profiles import WorkloadProfile, profile_for_disk
+from .engine import Simulation
+
+PAPER_RESERVED_CYLINDERS = {"toshiba": 48, "fujitsu": 80}
+PAPER_REARRANGED_BLOCKS = {"toshiba": 1018, "fujitsu": 3500}
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything that defines a campaign."""
+
+    profile: WorkloadProfile
+    disk: str = "toshiba"
+    reserved_cylinders: int | None = None  # default: the paper's choice
+    num_rearranged: int | None = None  # default: the paper's choice
+    placement_policy: str = "organ-pipe"
+    queue_policy: str = "scan"
+    analyzer_capacity: int | None = None
+    analyzer_heuristic: str = "space-saving"
+    monitor_capacity: int = 65536
+    seed: int = 1993
+    reserved_center: bool = True  # False: reserved area at the disk edge
+
+    def resolved_reserved_cylinders(self) -> int:
+        if self.reserved_cylinders is not None:
+            return self.reserved_cylinders
+        return PAPER_RESERVED_CYLINDERS[self.disk]
+
+    def resolved_num_rearranged(self) -> int:
+        if self.num_rearranged is not None:
+            return self.num_rearranged
+        return PAPER_REARRANGED_BLOCKS[self.disk]
+
+
+@dataclass
+class DayResult:
+    """Metrics plus workload context for one simulated day."""
+
+    metrics: DayMetrics
+    workload_requests: int
+    workload_reads: int
+    read_counts: dict[int, int] = field(repr=False, default_factory=dict)
+    all_counts: dict[int, int] = field(repr=False, default_factory=dict)
+    rearranged_blocks: int = 0
+
+
+@dataclass
+class CampaignResult:
+    """All days of one campaign."""
+
+    config: ExperimentConfig
+    days: list[DayResult]
+
+    def metrics(self) -> list[DayMetrics]:
+        return [day.metrics for day in self.days]
+
+    def on_days(self) -> list[DayResult]:
+        return [day for day in self.days if day.metrics.rearranged]
+
+    def off_days(self) -> list[DayResult]:
+        return [day for day in self.days if not day.metrics.rearranged]
+
+
+class Experiment:
+    """One assembled disk + driver + workload, run day by day."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self.model: DiskModel = disk_model(config.disk)
+        geometry = self.model.geometry
+        reserved = config.resolved_reserved_cylinders()
+        start_cylinder = None
+        if not config.reserved_center:
+            start_cylinder = geometry.cylinders - reserved
+        self.label = DiskLabel(
+            geometry=geometry,
+            reserved_cylinders=reserved,
+            reserved_start_cylinder=start_cylinder,
+        )
+        profile = profile_for_disk(config.profile, config.disk)
+        partition = self._make_partition(profile)
+        self.disk = Disk(self.model)
+        self.driver = AdaptiveDiskDriver(
+            disk=self.disk,
+            label=self.label,
+            queue=make_queue(config.queue_policy),
+        )
+        self.driver.request_monitor.capacity = config.monitor_capacity
+        self.ioctl = IoctlInterface(self.driver)
+        self.controller = RearrangementController(
+            ioctl=self.ioctl,
+            analyzer=ReferenceStreamAnalyzer(
+                capacity=config.analyzer_capacity,
+                heuristic=config.analyzer_heuristic,
+            ),
+            arranger=BlockArranger(
+                self.ioctl, policy=make_policy(config.placement_policy)
+            ),
+        )
+        self.generator = WorkloadGenerator(
+            profile=profile,
+            partition=partition,
+            blocks_per_cylinder=geometry.blocks_per_cylinder,
+            seed=config.seed,
+        )
+        self._day_index = 0
+
+    def _make_partition(self, profile: WorkloadProfile):
+        """Lay out the file system's partition per the profile's band.
+
+        ``"full"`` covers the whole virtual disk.  ``"center"`` is a home
+        partition occupying the middle 40% of the virtual disk — the slice
+        whose physical cylinders bracket the reserved area — with outer
+        dummy partitions standing in for root and swap.
+        """
+        total = self.label.virtual_total_blocks
+        if profile.partition_band == "center":
+            per_cyl = self.label.geometry.blocks_per_cylinder
+            # Start two cylinder groups below the hidden reserved area so
+            # that a first-fit-growing file system surrounds it.
+            assert self.label.reserved_start_cylinder is not None
+            start_cyl = max(
+                0,
+                self.label.reserved_start_cylinder
+                - 2 * profile.cylinders_per_group,
+            )
+            if start_cyl > 0:
+                self.label.add_partition("root", start_cyl * per_cyl)
+            return self.label.add_partition(
+                "home", total - start_cyl * per_cyl
+            )
+        return self.label.add_partition("fs0", total)
+
+    # ------------------------------------------------------------------
+    # One day
+    # ------------------------------------------------------------------
+
+    def run_day(
+        self,
+        rearranged: bool,
+        rearrange_tomorrow: bool,
+        num_blocks_tomorrow: int | None = None,
+        keep_arrangement: bool = False,
+    ) -> DayResult:
+        """Simulate one measurement day and run the nightly cycle.
+
+        ``rearranged`` records whether blocks are currently in the reserved
+        area (for labeling only — the driver state was prepared by
+        yesterday's nightly cycle).  With ``keep_arrangement`` the nightly
+        cycle is skipped entirely: the current arrangement stays in place
+        and ages (used by the rearrangement-period ablation).
+        """
+        day = self._day_index
+        self._day_index += 1
+        workload: DayWorkload = self.generator.generate_day()
+
+        simulation = Simulation(self.driver)
+        self.controller.attach_to(simulation)
+        simulation.add_jobs(workload.jobs)
+        simulation.run()
+        end_of_day = simulation.now_ms
+
+        tables = self.ioctl.read_stats()
+        metrics = DayMetrics.from_tables(
+            tables, self.model.seek, day=day, rearranged=rearranged
+        )
+        blocks_in_table = len(self.driver.block_table)
+        blocks = (
+            num_blocks_tomorrow
+            if num_blocks_tomorrow is not None
+            else self.config.resolved_num_rearranged()
+        )
+        if keep_arrangement:
+            self.controller.final_poll()
+            self.controller.analyzer.reset()
+        else:
+            self.controller.end_of_day(
+                now_ms=end_of_day,
+                rearrange_tomorrow=rearrange_tomorrow,
+                num_blocks=blocks,
+            )
+        return DayResult(
+            metrics=metrics,
+            workload_requests=workload.num_requests,
+            workload_reads=workload.num_reads,
+            read_counts=workload.read_counts,
+            all_counts=workload.all_counts,
+            rearranged_blocks=blocks_in_table,
+        )
+
+
+# ----------------------------------------------------------------------
+# The paper's experiment shapes
+# ----------------------------------------------------------------------
+
+
+def alternating_schedule(days: int, first_on_day: int = 1) -> list[bool]:
+    """The on/off alternation of Sections 5.2 and 5.3.
+
+    Day 0 must be off (there are no reference counts before the first
+    measurement day); by default odd days are "on".
+    """
+    if days < 2:
+        raise ValueError("an on/off campaign needs at least two days")
+    schedule = []
+    for day in range(days):
+        on = day >= first_on_day and (day - first_on_day) % 2 == 0
+        schedule.append(on)
+    return schedule
+
+
+def run_campaign(
+    config: ExperimentConfig, schedule: list[bool]
+) -> CampaignResult:
+    """Run a multi-day campaign with an explicit on/off schedule."""
+    if schedule and schedule[0]:
+        raise ValueError(
+            "day 0 cannot be an 'on' day: no reference counts exist yet"
+        )
+    experiment = Experiment(config)
+    results: list[DayResult] = []
+    for day, on_today in enumerate(schedule):
+        on_tomorrow = schedule[day + 1] if day + 1 < len(schedule) else False
+        results.append(
+            experiment.run_day(
+                rearranged=on_today,
+                rearrange_tomorrow=on_tomorrow,
+            )
+        )
+    return CampaignResult(config=config, days=results)
+
+
+def run_onoff_campaign(
+    config: ExperimentConfig, days: int = 10
+) -> CampaignResult:
+    """Alternating on/off days (Tables 2-6)."""
+    return run_campaign(config, alternating_schedule(days))
+
+
+def run_policy_campaign(
+    config: ExperimentConfig, policy: str, days: int = 4
+) -> CampaignResult:
+    """One training (off) day followed by ``days - 1`` rearranged days
+    under the given placement policy (Tables 7-10)."""
+    policy_config = replace(config, placement_policy=policy)
+    schedule = [False] + [True] * (days - 1)
+    return run_campaign(policy_config, schedule)
+
+
+def run_block_count_sweep(
+    config: ExperimentConfig, block_counts: list[int]
+) -> list[tuple[int, DayResult]]:
+    """The Figure 8 sweep: one day per rearranged-block count.
+
+    Day 0 trains (off); each subsequent day runs with the next count,
+    rearranged from the previous day's reference counts, mirroring the
+    paper's "different number of blocks being rearranged each day".
+    """
+    experiment = Experiment(config)
+    results: list[tuple[int, DayResult]] = []
+    counts = list(block_counts)
+    first_count = counts[0] if counts else 0
+    experiment.run_day(
+        rearranged=False,
+        rearrange_tomorrow=bool(counts),
+        num_blocks_tomorrow=first_count,
+    )
+    for index, count in enumerate(counts):
+        next_count = counts[index + 1] if index + 1 < len(counts) else 0
+        day = experiment.run_day(
+            rearranged=count > 0,
+            rearrange_tomorrow=index + 1 < len(counts),
+            num_blocks_tomorrow=next_count,
+        )
+        results.append((count, day))
+    return results

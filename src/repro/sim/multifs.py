@@ -1,0 +1,170 @@
+"""Several file systems sharing one adaptive disk.
+
+Section 4.1.1: "A disk may have several partitions and consequently
+several file systems on it.  However, only a single reserved region will
+be implemented by the driver, and blocks from any of the file systems may
+be copied there."  This module runs that configuration: multiple
+workload generators, one per partition, feeding a single driver whose
+analyzer/arranger operate on the merged request stream — so the hot block
+list competes across file systems, exactly as on the paper's server when
+it hosted both the *system* and *users* data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.analyzer import ReferenceStreamAnalyzer
+from ..core.arranger import BlockArranger
+from ..core.controller import RearrangementController
+from ..core.placement import make_policy
+from ..disk.disk import Disk
+from ..disk.label import DiskLabel, Partition
+from ..disk.models import disk_model
+from ..driver.driver import AdaptiveDiskDriver
+from ..driver.ioctl import IoctlInterface
+from ..driver.queue import make_queue
+from ..stats.metrics import DayMetrics
+from ..workload.generator import WorkloadGenerator
+from ..workload.profiles import WorkloadProfile
+from .engine import Simulation
+
+
+@dataclass(frozen=True)
+class FileSystemSpec:
+    """One file system to host: a profile and a share of the disk."""
+
+    profile: WorkloadProfile
+    fraction: float  # share of the virtual disk given to its partition
+    seed: int = 1993
+
+    def __post_init__(self) -> None:
+        if not 0 < self.fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+
+
+@dataclass
+class MultiFSDayResult:
+    """One day's metrics, overall and attributed per file system."""
+
+    metrics: DayMetrics
+    per_fs_requests: dict[str, int]
+    rearranged_blocks: int
+    rearranged_per_fs: dict[str, int] = field(default_factory=dict)
+
+
+class MultiFSExperiment:
+    """One disk, one reserved area, several file systems."""
+
+    def __init__(
+        self,
+        specs: list[FileSystemSpec],
+        disk: str = "toshiba",
+        reserved_cylinders: int | None = None,
+        num_rearranged: int | None = None,
+        placement_policy: str = "organ-pipe",
+        queue_policy: str = "scan",
+    ) -> None:
+        if not specs:
+            raise ValueError("need at least one file system")
+        if sum(spec.fraction for spec in specs) > 1.0 + 1e-9:
+            raise ValueError("partition fractions exceed the disk")
+        self.model = disk_model(disk)
+        from .experiment import PAPER_REARRANGED_BLOCKS, PAPER_RESERVED_CYLINDERS
+
+        reserved = (
+            reserved_cylinders
+            if reserved_cylinders is not None
+            else PAPER_RESERVED_CYLINDERS[disk]
+        )
+        self.num_rearranged = (
+            num_rearranged
+            if num_rearranged is not None
+            else PAPER_REARRANGED_BLOCKS[disk]
+        )
+        self.label = DiskLabel(self.model.geometry, reserved_cylinders=reserved)
+        self.disk = Disk(self.model)
+        self.driver = AdaptiveDiskDriver(
+            disk=self.disk, label=self.label, queue=make_queue(queue_policy)
+        )
+        self.ioctl = IoctlInterface(self.driver)
+        self.controller = RearrangementController(
+            ioctl=self.ioctl,
+            analyzer=ReferenceStreamAnalyzer(),
+            arranger=BlockArranger(
+                self.ioctl, policy=make_policy(placement_policy)
+            ),
+        )
+
+        total = self.label.virtual_total_blocks
+        self.partitions: list[Partition] = []
+        self.generators: list[WorkloadGenerator] = []
+        for index, spec in enumerate(specs):
+            size = int(total * spec.fraction)
+            partition = self.label.add_partition(
+                f"fs{index}-{spec.profile.name}", size
+            )
+            self.partitions.append(partition)
+            self.generators.append(
+                WorkloadGenerator(
+                    spec.profile,
+                    partition,
+                    self.model.geometry.blocks_per_cylinder,
+                    seed=spec.seed,
+                )
+            )
+        self._day = 0
+
+    # ------------------------------------------------------------------
+
+    def _partition_of(self, logical_block: int) -> Partition | None:
+        for partition in self.partitions:
+            if partition.contains(logical_block):
+                return partition
+        return None
+
+    def run_day(
+        self, rearranged: bool, rearrange_tomorrow: bool
+    ) -> MultiFSDayResult:
+        """One day: merge every file system's jobs on the shared disk."""
+        day = self._day
+        self._day += 1
+
+        per_fs_requests: dict[str, int] = {}
+        simulation = Simulation(self.driver)
+        self.controller.attach_to(simulation)
+        for partition, generator in zip(self.partitions, self.generators):
+            workload = generator.generate_day()
+            per_fs_requests[partition.name] = workload.num_requests
+            simulation.add_jobs(workload.jobs)
+        simulation.run()
+
+        metrics = DayMetrics.from_tables(
+            self.ioctl.read_stats(),
+            self.model.seek,
+            day=day,
+            rearranged=rearranged,
+        )
+        blocks_in_table = len(self.driver.block_table)
+        rearranged_per_fs: dict[str, int] = {}
+        for entry in self.driver.block_table.entries():
+            logical = self.label.physical_to_virtual_block(
+                entry.original_block
+            )
+            partition = self._partition_of(logical)
+            if partition is not None:
+                rearranged_per_fs[partition.name] = (
+                    rearranged_per_fs.get(partition.name, 0) + 1
+                )
+
+        self.controller.end_of_day(
+            now_ms=simulation.now_ms,
+            rearrange_tomorrow=rearrange_tomorrow,
+            num_blocks=self.num_rearranged,
+        )
+        return MultiFSDayResult(
+            metrics=metrics,
+            per_fs_requests=per_fs_requests,
+            rearranged_blocks=blocks_in_table,
+            rearranged_per_fs=rearranged_per_fs,
+        )

@@ -1,0 +1,42 @@
+"""Measurement: histograms, per-day metrics, and paper-style reports."""
+
+from .histogram import DistanceHistogram, TimeHistogram
+from .metrics import (
+    DayMetrics,
+    MinAvgMax,
+    OnOffSummary,
+    SCOPES,
+    ScopeMetrics,
+    scope_metrics,
+    seek_time_reduction_vs_fcfs,
+    summarize_on_off,
+)
+from .report import (
+    render_access_distribution,
+    render_day,
+    render_detail_table,
+    render_onoff_table,
+    render_policy_table,
+    render_service_cdf,
+    render_sweep,
+)
+
+__all__ = [
+    "DayMetrics",
+    "DistanceHistogram",
+    "MinAvgMax",
+    "OnOffSummary",
+    "SCOPES",
+    "ScopeMetrics",
+    "TimeHistogram",
+    "render_access_distribution",
+    "render_day",
+    "render_detail_table",
+    "render_onoff_table",
+    "render_policy_table",
+    "render_service_cdf",
+    "render_sweep",
+    "scope_metrics",
+    "seek_time_reduction_vs_fcfs",
+    "summarize_on_off",
+]

@@ -1,0 +1,206 @@
+"""Text rendering of the paper's tables and figures.
+
+These helpers print the same rows the paper reports so the benchmark
+harness output can be compared side by side with the published tables.
+They are formatting only; all computation lives in
+:mod:`repro.stats.metrics`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .histogram import TimeHistogram
+from .metrics import DayMetrics, MinAvgMax, OnOffSummary, ScopeMetrics
+
+
+def _fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"
+
+
+def _mam(m: MinAvgMax) -> str:
+    return f"{_fmt(m.min):>7} {_fmt(m.avg):>7} {_fmt(m.max):>7}"
+
+
+def render_onoff_table(
+    rows: Sequence[tuple[str, str, OnOffSummary]],
+    title: str,
+) -> str:
+    """Render a Table 2/4/5/6-style summary.
+
+    ``rows`` are ``(disk name, scope label, summary)`` triples; each summary
+    expands into an Off row and an On row of daily-mean min/avg/max values.
+    """
+    header = (
+        f"{'Disk':<10} {'On/Off':<7} "
+        f"{'Seek (min/avg/max)':>24} "
+        f"{'Service (min/avg/max)':>24} "
+        f"{'Waiting (min/avg/max)':>24}"
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for disk, __, summary in rows:
+        lines.append(
+            f"{disk:<10} {'Off':<7} {_mam(summary.off_seek):>24} "
+            f"{_mam(summary.off_service):>24} {_mam(summary.off_waiting):>24}"
+        )
+        lines.append(
+            f"{disk:<10} {'On':<7} {_mam(summary.on_seek):>24} "
+            f"{_mam(summary.on_service):>24} {_mam(summary.on_waiting):>24}"
+        )
+        lines.append(
+            f"{'':<10} {'':<7} seek {-summary.seek_reduction:+.0%}  "
+            f"service {-summary.service_reduction:+.0%}  "
+            f"waiting {-summary.waiting_reduction:+.0%}"
+        )
+    return "\n".join(lines)
+
+
+DETAIL_ROWS = (
+    ("FCFS Mean Seek Dist (cyln)", "fcfs_mean_seek_distance", 0),
+    ("Mean Seek Distance (cyln)", "mean_seek_distance", 0),
+    ("Zero-length Seeks (%)", "zero_seek_percent", 0),
+    ("FCFS Mean Seek Time (ms)", "fcfs_mean_seek_time_ms", 2),
+    ("Mean Seek Time (ms)", "mean_seek_time_ms", 2),
+    ("Mean Service Time (ms)", "mean_service_ms", 2),
+    ("Mean Waiting Time (ms)", "mean_waiting_ms", 2),
+)
+
+
+def render_detail_table(
+    columns: Sequence[tuple[str, ScopeMetrics]],
+    title: str,
+) -> str:
+    """Render a Table 3/8/9-style detail table.
+
+    ``columns`` are ``(column label, metrics)`` pairs, e.g. ("Day 1 Off",
+    off-day all-requests metrics).
+    """
+    label_width = max(len(label) for label, *__ in DETAIL_ROWS) + 2
+    header = " " * label_width + "".join(
+        f"{label:>14}" for label, __ in columns
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for row_label, attr, digits in DETAIL_ROWS:
+        cells = []
+        for __, metrics in columns:
+            cells.append(f"{getattr(metrics, attr):>14.{digits}f}")
+        lines.append(f"{row_label:<{label_width}}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_policy_table(
+    rows: Sequence[tuple[str, dict[str, float], dict[str, float]]],
+    title: str,
+) -> str:
+    """Render Table 7: % seek-time reduction per placement policy.
+
+    ``rows`` are ``(disk, {policy: reduction for all requests},
+    {policy: reduction for reads})``; reductions are fractions.
+    """
+    policies = ("organ-pipe", "interleaved", "serial")
+    header = (
+        f"{'Disk':<10}"
+        + "".join(f"{p + ' (all)':>20}" for p in policies)
+        + "".join(f"{p + ' (reads)':>20}" for p in policies)
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for disk, all_red, read_red in rows:
+        cells = [f"{100 * all_red[p]:>20.0f}" for p in policies]
+        cells += [f"{100 * read_red[p]:>20.0f}" for p in policies]
+        lines.append(f"{disk:<10}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def render_service_cdf(
+    series: Sequence[tuple[str, TimeHistogram]],
+    title: str,
+    points_ms: Sequence[float] = (5, 10, 15, 20, 25, 30, 40, 50, 75, 100),
+    bar_width: int = 0,
+) -> str:
+    """Render Figure 4/6-style service-time CDFs as a table of points.
+
+    With ``bar_width > 0`` each series also gets an ASCII bar column so
+    the curve shape is visible directly in a terminal.
+    """
+    header = f"{'<= ms':>8}" + "".join(
+        f"{name:>16}" + (" " * (bar_width + 1) if bar_width else "")
+        for name, __ in series
+    )
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for threshold in points_ms:
+        row = [f"{threshold:>8.0f}"]
+        for __, hist in series:
+            fraction = hist.fraction_below(threshold)
+            row.append(f"{100 * fraction:>15.1f}%")
+            if bar_width:
+                row.append(" " + ascii_bar(fraction, bar_width))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def ascii_bar(fraction: float, width: int = 40) -> str:
+    """A fixed-width horizontal bar for a value in [0, 1]."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = round(fraction * width)
+    return "#" * filled + "." * (width - filled)
+
+
+def render_access_distribution(
+    series: Sequence[tuple[str, Sequence[int]]],
+    title: str,
+    ranks: Sequence[int] = (1, 10, 50, 100, 500, 1000, 2000),
+) -> str:
+    """Render Figure 5/7-style block-access distributions.
+
+    ``series`` maps a label to reference counts sorted descending; the
+    rendering reports the count at selected ranks plus the cumulative share
+    of requests absorbed by the top-``rank`` blocks.
+    """
+    lines = [title]
+    for name, counts in series:
+        total = sum(counts) or 1
+        lines.append(f"-- {name} ({len(counts)} referenced blocks, "
+                     f"{total} requests)")
+        lines.append(f"{'rank':>8} {'count':>10} {'cum share':>10}")
+        cumulative = 0
+        rank_set = sorted(r for r in ranks if r <= len(counts))
+        next_idx = 0
+        for i, count in enumerate(counts, start=1):
+            cumulative += count
+            if next_idx < len(rank_set) and i == rank_set[next_idx]:
+                lines.append(
+                    f"{i:>8} {count:>10} {cumulative / total:>9.1%}"
+                )
+                next_idx += 1
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_sweep(
+    points: Sequence[tuple[int, float, float]],
+    title: str,
+) -> str:
+    """Render Figure 8: reduction vs number of rearranged blocks.
+
+    ``points`` are ``(blocks rearranged, seek distance reduction,
+    seek time reduction)`` with reductions as fractions.
+    """
+    header = f"{'blocks':>8} {'dist reduction':>16} {'time reduction':>16}"
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for blocks, dist_red, time_red in points:
+        lines.append(
+            f"{blocks:>8} {100 * dist_red:>15.1f}% {100 * time_red:>15.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def render_day(metrics: DayMetrics, disk_name: str = "") -> str:
+    """One-line daily summary, for campaign progress output."""
+    m = metrics.all
+    flag = "on " if metrics.rearranged else "off"
+    return (
+        f"day {metrics.day:>2} [{flag}] {disk_name:<8} "
+        f"reqs={m.requests:>6} seek={m.mean_seek_time_ms:6.2f}ms "
+        f"service={m.mean_service_ms:6.2f}ms wait={m.mean_waiting_ms:7.2f}ms "
+        f"zero-seeks={m.zero_seek_percent:4.0f}%"
+    )

@@ -1,0 +1,41 @@
+"""Synthetic workload substrate: profiles, generation, and traces.
+
+Replaces the paper's live NFS-server traffic with seeded, calibrated
+generators reproducing the published workload properties (skew, bursty
+writes, read/write mix, day-to-day drift)."""
+
+from .distributions import (
+    geometric_run_length,
+    poisson_arrivals,
+    sorted_counts,
+    top_k_share,
+    zipf_weights,
+)
+from .generator import DayWorkload, WorkloadGenerator
+from .profiles import (
+    PROFILES,
+    SYSTEM_FS_PROFILE,
+    USERS_FS_PROFILE,
+    WorkloadProfile,
+    profile,
+)
+from .trace import dump_jobs, load_jobs, load_trace, save_trace
+
+__all__ = [
+    "DayWorkload",
+    "PROFILES",
+    "SYSTEM_FS_PROFILE",
+    "USERS_FS_PROFILE",
+    "WorkloadGenerator",
+    "WorkloadProfile",
+    "dump_jobs",
+    "geometric_run_length",
+    "load_jobs",
+    "load_trace",
+    "poisson_arrivals",
+    "profile",
+    "save_trace",
+    "sorted_counts",
+    "top_k_share",
+    "zipf_weights",
+]

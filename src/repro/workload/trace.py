@@ -1,0 +1,111 @@
+"""Trace serialization: save and reload generated workloads.
+
+The paper's experiments are driven by live traffic; ours are driven by
+generated workloads.  Persisting a day's jobs to a plain-text trace makes a
+run exactly repeatable and lets users supply their own traces (e.g.
+converted from real block traces) to the same experiment harness.
+
+Format (one record per line, ``#`` comments allowed)::
+
+    J <start_ms> <seq|batch> <name>
+    S <r|w> <logical_block> <think_ms>
+
+A ``J`` line opens a job; following ``S`` lines are its steps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from ..driver.request import Op
+from ..sim.jobs import Job, Step
+
+
+def dump_jobs(jobs: Iterable[Job], stream: TextIO) -> int:
+    """Write jobs to ``stream``; returns the number of jobs written."""
+    count = 0
+    for job in jobs:
+        mode = "seq" if job.sequential else "batch"
+        name = job.name or "-"
+        stream.write(f"J {job.start_ms!r} {mode} {name}\n")
+        for step in job.steps:
+            op = "r" if step.op is Op.READ else "w"
+            stream.write(
+                f"S {op} {step.logical_block} {step.think_ms!r}\n"
+            )
+        count += 1
+    return count
+
+
+def load_jobs(stream: TextIO) -> list[Job]:
+    """Parse jobs back from a trace stream."""
+    jobs: list[Job] = []
+    current: dict | None = None
+
+    def finish() -> None:
+        nonlocal current
+        if current is None:
+            return
+        if not current["steps"]:
+            raise ValueError(
+                f"job at {current['start_ms']} ms has no steps"
+            )
+        jobs.append(
+            Job(
+                start_ms=current["start_ms"],
+                steps=current["steps"],
+                sequential=current["sequential"],
+                name=current["name"],
+            )
+        )
+        current = None
+
+    for line_no, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split()
+        if fields[0] == "J":
+            finish()
+            if len(fields) != 4:
+                raise ValueError(f"line {line_no}: malformed job record")
+            name = None if fields[3] == "-" else fields[3]
+            current = {
+                "start_ms": float(fields[1]),
+                "sequential": fields[2] == "seq",
+                "name": name,
+                "steps": [],
+            }
+        elif fields[0] == "S":
+            if current is None:
+                raise ValueError(f"line {line_no}: step before any job")
+            if len(fields) != 4:
+                raise ValueError(f"line {line_no}: malformed step record")
+            op = Op.READ if fields[1] == "r" else Op.WRITE
+            current["steps"].append(
+                Step(
+                    logical_block=int(fields[2]),
+                    op=op,
+                    think_ms=float(fields[3]),
+                )
+            )
+        else:
+            raise ValueError(f"line {line_no}: unknown record {fields[0]!r}")
+    finish()
+    return jobs
+
+
+def save_trace(jobs: Iterable[Job], path: str | Path) -> int:
+    """Save jobs to a trace file; returns the number of jobs written."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as stream:
+        stream.write("# repro block-request trace\n")
+        return dump_jobs(jobs, stream)
+
+
+def load_trace(path: str | Path) -> list[Job]:
+    """Load jobs from a trace file."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as stream:
+        return load_jobs(stream)

@@ -1,0 +1,195 @@
+"""Tests for repro.analysis — organ-pipe theory and characterization."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.characterize import (
+    characterize,
+    cylinder_reference_distribution,
+    render_character,
+)
+from repro.analysis.organpipe import (
+    arrange,
+    expected_seek_distance,
+    expected_seek_distance_organ_pipe,
+    expected_seek_time,
+    normalize,
+    organ_pipe_arrangement,
+    zero_seek_probability,
+)
+from repro.disk.models import TOSHIBA_MK156F
+
+
+class TestNormalize:
+    def test_normalizes(self):
+        assert normalize([1, 3]).tolist() == [0.25, 0.75]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            normalize([])
+        with pytest.raises(ValueError):
+            normalize([-1, 2])
+        with pytest.raises(ValueError):
+            normalize([0, 0])
+
+
+class TestExpectedSeekDistance:
+    def test_point_mass_is_zero(self):
+        assert expected_seek_distance([0, 1, 0]) == 0.0
+
+    def test_two_point_mass(self):
+        # Mass split between cylinders 0 and 2: E|i-j| = 2 * 2 * .25 = 1.
+        assert expected_seek_distance([0.5, 0, 0.5]) == pytest.approx(1.0)
+
+    def test_uniform_matches_closed_form(self):
+        # For uniform over n cylinders, E|i-j| = (n^2 - 1) / (3n).
+        n = 50
+        expected = (n * n - 1) / (3 * n)
+        assert expected_seek_distance([1] * n) == pytest.approx(expected)
+
+    def test_matches_naive_double_sum(self):
+        rng = np.random.default_rng(0)
+        p = normalize(rng.random(30))
+        naive = sum(
+            p[i] * p[j] * abs(i - j)
+            for i, j in itertools.product(range(30), repeat=2)
+        )
+        assert expected_seek_distance(p) == pytest.approx(naive)
+
+
+class TestOrganPipeArrangement:
+    def test_heaviest_in_center(self):
+        order = organ_pipe_arrangement([5, 100, 1])
+        # Position n//2 = 1 holds the heaviest item (index 1).
+        assert order[1] == 1
+
+    def test_is_a_permutation(self):
+        order = organ_pipe_arrangement([3, 1, 4, 1, 5, 9, 2, 6])
+        assert sorted(order) == list(range(8))
+
+    def test_arranged_profile_is_unimodal(self):
+        weights = [1, 9, 2, 8, 3, 7, 4, 6, 5]
+        arranged = arrange(weights, organ_pipe_arrangement(weights))
+        peak = int(np.argmax(arranged))
+        assert all(
+            arranged[i] <= arranged[i + 1] for i in range(peak)
+        )
+        assert all(
+            arranged[i] >= arranged[i + 1]
+            for i in range(peak, len(arranged) - 1)
+        )
+
+    def test_reduces_expected_seek_for_skewed_weights(self):
+        rng = np.random.default_rng(1)
+        weights = rng.zipf(1.8, size=101).astype(float)
+        before = expected_seek_distance(weights)
+        after = expected_seek_distance_organ_pipe(weights)
+        assert after < before
+
+
+class TestOrganPipeOptimality:
+    @settings(deadline=None, max_examples=40)
+    @given(
+        weights=st.lists(
+            st.floats(min_value=0.01, max_value=100, allow_nan=False),
+            min_size=2,
+            max_size=6,
+        )
+    )
+    def test_no_permutation_beats_organ_pipe(self, weights):
+        """The Wong/Grossman optimality result, checked exhaustively on
+        small instances: organ-pipe minimizes E[|i-j|]."""
+        best = min(
+            expected_seek_distance(arrange(weights, perm))
+            for perm in itertools.permutations(range(len(weights)))
+        )
+        organ = expected_seek_distance_organ_pipe(weights)
+        assert organ == pytest.approx(best, rel=1e-9, abs=1e-12)
+
+
+class TestExpectedSeekTime:
+    def test_point_mass_is_zero(self):
+        probs = np.zeros(815)
+        probs[100] = 1.0
+        assert expected_seek_time(probs, TOSHIBA_MK156F.seek) == 0.0
+
+    def test_two_cylinder_case(self):
+        probs = np.zeros(815)
+        probs[100] = 0.5
+        probs[200] = 0.5
+        # Half the request pairs seek 100 cylinders, half stay put.
+        expected = 0.5 * TOSHIBA_MK156F.seek.time(100)
+        assert expected_seek_time(probs, TOSHIBA_MK156F.seek) == pytest.approx(
+            expected
+        )
+
+    def test_concentration_beats_spread(self):
+        spread = np.ones(815)
+        tight = np.zeros(815)
+        tight[400:448] = 1.0
+        assert expected_seek_time(
+            tight, TOSHIBA_MK156F.seek
+        ) < expected_seek_time(spread, TOSHIBA_MK156F.seek)
+
+
+class TestZeroSeekProbability:
+    def test_uniform(self):
+        assert zero_seek_probability([1, 1, 1, 1]) == pytest.approx(0.25)
+
+    def test_point_mass(self):
+        assert zero_seek_probability([0, 5, 0]) == 1.0
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        from repro.disk.label import DiskLabel
+        from repro.workload.generator import WorkloadGenerator
+        from repro.workload.profiles import SYSTEM_FS_PROFILE
+
+        label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=48)
+        partition = label.add_partition("fs0", label.virtual_total_blocks)
+        generator = WorkloadGenerator(
+            SYSTEM_FS_PROFILE.scaled(hours=1.0),
+            partition,
+            TOSHIBA_MK156F.geometry.blocks_per_cylinder,
+            seed=3,
+        )
+        return generator.generate_day()
+
+    def test_counts_consistent(self, workload):
+        character = characterize(workload)
+        assert character.requests == workload.num_requests
+        assert character.reads + character.writes == character.requests
+        assert 0 < character.write_fraction < 1
+
+    def test_skew_measured(self, workload):
+        character = characterize(workload)
+        assert character.top_100_share > 0.5
+        assert character.top_1018_share >= character.top_100_share
+        assert character.write_top_30_share > 0.5
+
+    def test_burst_statistics(self, workload):
+        character = characterize(workload)
+        assert character.mean_write_burst >= 1.0
+        assert character.max_write_burst >= character.mean_write_burst
+
+    def test_render(self, workload):
+        text = render_character(characterize(workload), "system, 1h")
+        assert "top-100 share" in text
+        assert "sync burst" in text
+
+    def test_cylinder_distribution(self, workload):
+        probs = cylinder_reference_distribution(
+            workload, TOSHIBA_MK156F.geometry
+        )
+        assert probs.shape == (815,)
+        assert probs.sum() == pytest.approx(1.0)
+        # The expected seek distance of the raw layout is large; the
+        # organ-pipe rearrangement of the same mass is far smaller.
+        raw = expected_seek_distance(probs)
+        organ = expected_seek_distance_organ_pipe(probs)
+        assert organ < raw / 3

@@ -1,0 +1,162 @@
+"""Tests for repro.core.analyzer — the reference stream analyzer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.analyzer import ReferenceStreamAnalyzer
+from repro.driver.monitor import RequestRecord
+
+
+def record(block, size=1, is_read=True, arrival=0.0):
+    return RequestRecord(
+        logical_block=block, size_blocks=size, is_read=is_read, arrival_ms=arrival
+    )
+
+
+class TestExactCounting:
+    def test_counts_references(self):
+        analyzer = ReferenceStreamAnalyzer()
+        for block in (1, 1, 2, 1, 3):
+            analyzer.observe(block)
+        assert analyzer.count_of(1) == 3
+        assert analyzer.count_of(2) == 1
+        assert analyzer.count_of(99) == 0
+        assert analyzer.observed == 5
+        assert analyzer.distinct_blocks() == 3
+
+    def test_hot_blocks_ordered_by_count(self):
+        analyzer = ReferenceStreamAnalyzer()
+        for block in (2, 1, 1, 3, 3, 3):
+            analyzer.observe(block)
+        assert analyzer.hot_blocks() == [(3, 3), (1, 2), (2, 1)]
+        assert analyzer.hot_blocks(1) == [(3, 3)]
+
+    def test_ties_break_by_block_number(self):
+        analyzer = ReferenceStreamAnalyzer()
+        for block in (9, 4):
+            analyzer.observe(block)
+        assert analyzer.hot_blocks() == [(4, 1), (9, 1)]
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceStreamAnalyzer().hot_blocks(-1)
+
+    def test_reset(self):
+        analyzer = ReferenceStreamAnalyzer()
+        analyzer.observe(1)
+        analyzer.reset()
+        assert analyzer.observed == 0
+        assert analyzer.hot_blocks() == []
+
+
+class TestBoundedList:
+    def test_no_replacement_below_capacity(self):
+        analyzer = ReferenceStreamAnalyzer(capacity=3)
+        for block in (1, 2, 3):
+            analyzer.observe(block)
+        assert analyzer.replacements == 0
+
+    def test_space_saving_inherits_floor(self):
+        """The space-saving rule: the newcomer takes over the minimum
+        entry's count plus one."""
+        analyzer = ReferenceStreamAnalyzer(capacity=2, heuristic="space-saving")
+        analyzer.observe(1)
+        analyzer.observe(1)
+        analyzer.observe(2)
+        analyzer.observe(3)  # evicts 2 (count 1) -> 3 enters with count 2
+        assert analyzer.count_of(3) == 2
+        assert analyzer.count_of(2) == 0
+        assert analyzer.replacements == 1
+
+    def test_evict_min_starts_from_one(self):
+        analyzer = ReferenceStreamAnalyzer(capacity=2, heuristic="evict-min")
+        analyzer.observe(1)
+        analyzer.observe(1)
+        analyzer.observe(2)
+        analyzer.observe(3)
+        assert analyzer.count_of(3) == 1
+
+    def test_space_saving_keeps_true_heavy_hitter(self):
+        """A block far hotter than capacity churn always survives."""
+        analyzer = ReferenceStreamAnalyzer(capacity=5, heuristic="space-saving")
+        stream = []
+        for i in range(200):
+            stream.append(777)  # the heavy hitter
+            stream.append(1000 + i)  # parade of one-off blocks
+        for block in stream:
+            analyzer.observe(block)
+        hot = analyzer.hot_blocks(1)
+        assert hot[0][0] == 777
+        assert hot[0][1] >= 200
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReferenceStreamAnalyzer(capacity=0)
+        with pytest.raises(ValueError):
+            ReferenceStreamAnalyzer(heuristic="magic")
+
+
+class TestRecordDigestion:
+    def test_multiblock_records_count_each_block(self):
+        analyzer = ReferenceStreamAnalyzer()
+        analyzer.observe_records([record(10, size=3)])
+        assert analyzer.count_of(10) == 1
+        assert analyzer.count_of(11) == 1
+        assert analyzer.count_of(12) == 1
+
+    def test_read_write_filters(self):
+        reads_only = ReferenceStreamAnalyzer(count_writes=False)
+        reads_only.observe_records([record(1), record(2, is_read=False)])
+        assert reads_only.count_of(1) == 1
+        assert reads_only.count_of(2) == 0
+
+        writes_only = ReferenceStreamAnalyzer(count_reads=False)
+        writes_only.observe_records([record(1), record(2, is_read=False)])
+        assert writes_only.count_of(1) == 0
+        assert writes_only.count_of(2) == 1
+
+    def test_poll_reads_and_clears_driver_table(self):
+        from repro.disk.disk import Disk
+        from repro.disk.label import DiskLabel
+        from repro.disk.models import TOSHIBA_MK156F
+        from repro.driver.driver import AdaptiveDiskDriver
+        from repro.driver.ioctl import IoctlInterface
+        from repro.driver.request import read_request
+
+        label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=48)
+        driver = AdaptiveDiskDriver(disk=Disk(TOSHIBA_MK156F), label=label)
+        ioctl = IoctlInterface(driver)
+        completion = driver.strategy(read_request(5, 0.0), 0.0)
+        while completion is not None:
+            __, completion = driver.complete(completion)
+
+        analyzer = ReferenceStreamAnalyzer()
+        assert analyzer.poll(ioctl) == 1
+        assert analyzer.count_of(5) == 1
+        assert analyzer.poll(ioctl) == 0  # table was cleared
+
+
+@given(
+    stream=st.lists(st.integers(min_value=0, max_value=20), max_size=400),
+    capacity=st.integers(min_value=1, max_value=30),
+)
+def test_space_saving_overestimates_only(stream, capacity):
+    """Space-saving estimates are never below the true count (the classic
+    stream-summary guarantee)."""
+    analyzer = ReferenceStreamAnalyzer(capacity=capacity, heuristic="space-saving")
+    true_counts: dict[int, int] = {}
+    for block in stream:
+        analyzer.observe(block)
+        true_counts[block] = true_counts.get(block, 0) + 1
+    for block, estimate in analyzer.hot_blocks():
+        assert estimate >= true_counts.get(block, 0)
+
+
+@given(stream=st.lists(st.integers(min_value=0, max_value=50), max_size=400))
+def test_unbounded_analyzer_is_exact(stream):
+    analyzer = ReferenceStreamAnalyzer()
+    true_counts: dict[int, int] = {}
+    for block in stream:
+        analyzer.observe(block)
+        true_counts[block] = true_counts.get(block, 0) + 1
+    assert dict(analyzer.hot_blocks()) == true_counts

@@ -1,0 +1,188 @@
+"""Tests for repro.driver.blocktable — redirection map and recovery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.driver.blocktable import BlockTable
+
+
+class TestBasicOperations:
+    def test_empty_table(self):
+        table = BlockTable()
+        assert len(table) == 0
+        assert table.lookup(5) is None
+        assert 5 not in table
+
+    def test_add_and_lookup(self):
+        table = BlockTable()
+        entry = table.add(100, 9000)
+        assert table.lookup(100) is entry
+        assert entry.reserved_block == 9000
+        assert not entry.dirty
+        assert 100 in table
+
+    def test_reverse_lookup(self):
+        table = BlockTable()
+        table.add(100, 9000)
+        assert table.original_of(9000) == 100
+        assert table.original_of(9001) is None
+
+    def test_duplicate_original_rejected(self):
+        table = BlockTable()
+        table.add(100, 9000)
+        with pytest.raises(ValueError):
+            table.add(100, 9001)
+
+    def test_occupied_reserved_slot_rejected(self):
+        table = BlockTable()
+        table.add(100, 9000)
+        with pytest.raises(ValueError):
+            table.add(200, 9000)
+
+    def test_remove(self):
+        table = BlockTable()
+        table.add(100, 9000)
+        entry = table.remove(100)
+        assert entry.original_block == 100
+        assert table.lookup(100) is None
+        assert table.original_of(9000) is None
+        # The freed slot can be reused.
+        table.add(300, 9000)
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            BlockTable().remove(4)
+
+    def test_capacity_enforced(self):
+        table = BlockTable(capacity=1)
+        table.add(1, 9000)
+        with pytest.raises(ValueError):
+            table.add(2, 9001)
+
+    def test_entries_in_insertion_order(self):
+        table = BlockTable()
+        table.add(5, 9000)
+        table.add(3, 9001)
+        assert [e.original_block for e in table.entries()] == [5, 3]
+
+    def test_clear(self):
+        table = BlockTable()
+        table.add(5, 9000)
+        table.clear()
+        assert len(table) == 0
+
+
+class TestDirtyBits:
+    def test_mark_dirty(self):
+        table = BlockTable()
+        table.add(100, 9000)
+        table.mark_dirty(100)
+        assert table.lookup(100).dirty
+        assert [e.original_block for e in table.dirty_entries()] == [100]
+
+    def test_mark_dirty_missing_raises(self):
+        with pytest.raises(KeyError):
+            BlockTable().mark_dirty(100)
+
+
+class TestPersistenceAndRecovery:
+    def test_disk_copy_reflects_writes(self):
+        table = BlockTable()
+        table.add(100, 9000)
+        table.write_to_disk()
+        assert table.disk_copy() == {100: (9000, False)}
+
+    def test_disk_copy_is_stale_until_written(self):
+        """The disk copy lags the memory table — in particular, dirty bits
+        'may not always be up-to-date in the disk-resident copy'."""
+        table = BlockTable()
+        table.add(100, 9000)
+        table.write_to_disk()
+        table.mark_dirty(100)  # not flushed
+        assert table.disk_copy()[100] == (9000, False)
+
+    def test_crash_loses_memory_table(self):
+        table = BlockTable()
+        table.add(100, 9000)
+        table.write_to_disk()
+        table.crash()
+        assert len(table) == 0
+
+    def test_recover_marks_everything_dirty(self):
+        """Section 4.1.2: after a failure all entries are conservatively
+        marked dirty so updates are never lost."""
+        table = BlockTable()
+        table.add(100, 9000)
+        table.add(200, 9001)
+        table.write_to_disk()
+        table.crash()
+        table.recover()
+        assert len(table) == 2
+        assert all(entry.dirty for entry in table.entries())
+        assert table.lookup(100).reserved_block == 9000
+
+    def test_entries_added_after_flush_are_lost_in_crash(self):
+        table = BlockTable()
+        table.add(100, 9000)
+        table.write_to_disk()
+        table.add(200, 9001)  # never flushed
+        table.crash()
+        table.recover()
+        assert table.lookup(200) is None
+        assert table.lookup(100) is not None
+
+    def test_recover_restores_reverse_index(self):
+        table = BlockTable()
+        table.add(100, 9000)
+        table.write_to_disk()
+        table.crash()
+        table.recover()
+        assert table.original_of(9000) == 100
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=10_000),
+            st.integers(min_value=20_000, max_value=30_000),
+        ),
+        max_size=50,
+        unique_by=(lambda p: p[0], lambda p: p[1]),
+    )
+)
+def test_mapping_is_always_a_bijection(pairs):
+    """At all times the table is a bijection original <-> reserved."""
+    table = BlockTable()
+    for original, reserved in pairs:
+        table.add(original, reserved)
+    originals = [e.original_block for e in table.entries()]
+    reserveds = [e.reserved_block for e in table.entries()]
+    assert len(set(originals)) == len(originals)
+    assert len(set(reserveds)) == len(reserveds)
+    for entry in table.entries():
+        assert table.original_of(entry.reserved_block) == entry.original_block
+
+
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=2000, max_value=3000),
+        ),
+        min_size=1,
+        max_size=30,
+        unique_by=(lambda p: p[0], lambda p: p[1]),
+    ),
+    dirty_index=st.integers(min_value=0, max_value=29),
+)
+def test_crash_recovery_preserves_flushed_mapping(pairs, dirty_index):
+    """Recovery reproduces exactly the flushed mapping, all-dirty."""
+    table = BlockTable()
+    for original, reserved in pairs:
+        table.add(original, reserved)
+    table.mark_dirty(pairs[dirty_index % len(pairs)][0])
+    table.write_to_disk()
+    table.crash()
+    table.recover()
+    assert sorted((e.original_block, e.reserved_block) for e in table.entries()) == sorted(pairs)
+    assert all(e.dirty for e in table.entries())

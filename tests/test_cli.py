@@ -1,0 +1,84 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["onoff"])
+        assert args.disk == "toshiba"
+        assert args.profile == "system"
+        assert args.days == 6
+
+    def test_invalid_disk_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["onoff", "--disk", "ibm"])
+
+
+class TestCommands:
+    def test_onoff(self, capsys):
+        code = main(
+            ["onoff", "--hours", "0.25", "--days", "2", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "On/Off summary (all requests)" in out
+        assert "day  0 [off]" in out
+        assert "day  1 [on ]" in out
+
+    def test_policies(self, capsys):
+        code = main(
+            ["policies", "--hours", "0.25", "--days", "2", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "organ-pipe" in out
+        assert "serial" in out
+        assert "seek reduction vs FCFS" in out
+
+    def test_sweep(self, capsys):
+        code = main(
+            ["sweep", "--hours", "0.25", "--counts", "5,20", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "time reduction" in out
+
+    def test_workload_and_replay_roundtrip(self, capsys, tmp_path):
+        trace = tmp_path / "day.trace"
+        code = main(
+            [
+                "workload",
+                "--hours",
+                "0.25",
+                "--seed",
+                "1",
+                "--out",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        assert trace.exists()
+        out = capsys.readouterr().out
+        assert "top-100 share" in out
+
+        code = main(["replay", str(trace), "--rearrange"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean seek" in out
+        assert "rearranged" in out
+
+    def test_replay_plain(self, capsys, tmp_path):
+        trace = tmp_path / "day.trace"
+        main(["workload", "--hours", "0.25", "--seed", "1", "--out", str(trace)])
+        capsys.readouterr()
+        code = main(["replay", str(trace), "--queue", "fcfs"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "zero seeks" in out

@@ -1,0 +1,134 @@
+"""Tests for repro.disk.disk — the mechanical service model."""
+
+import pytest
+
+from repro.disk.disk import Disk
+from repro.disk.models import FUJITSU_M2266, TOSHIBA_MK156F
+
+
+@pytest.fixture
+def toshiba():
+    return Disk(TOSHIBA_MK156F)
+
+
+@pytest.fixture
+def fujitsu():
+    return Disk(FUJITSU_M2266)
+
+
+class TestServiceBreakdown:
+    def test_components_sum_to_service(self, toshiba):
+        b = toshiba.access(5000, True, 0.0)
+        assert b.service_ms == pytest.approx(
+            b.overhead_ms + b.seek_ms + b.rotation_ms + b.transfer_ms
+        )
+        assert b.finish_ms == pytest.approx(b.start_ms + b.service_ms)
+
+    def test_seek_distance_from_head_position(self, toshiba):
+        block = 5000
+        cylinder = toshiba.geometry.cylinder_of_block(block)
+        b = toshiba.access(block, True, 0.0)
+        assert b.seek_distance == cylinder  # head starts at cylinder 0
+        assert b.seek_ms == pytest.approx(toshiba.seek_model.time(cylinder))
+
+    def test_head_moves_to_target(self, toshiba):
+        b = toshiba.access(5000, True, 0.0)
+        assert toshiba.head_cylinder == b.cylinder
+
+    def test_same_cylinder_access_has_zero_seek(self, toshiba):
+        first = toshiba.access(0, True, 0.0)
+        second = toshiba.access(1, True, first.finish_ms)
+        assert second.seek_distance == 0
+        assert second.seek_ms == 0.0
+
+    def test_transfer_time_is_one_block(self, toshiba):
+        b = toshiba.access(100, True, 0.0)
+        assert b.transfer_ms == pytest.approx(
+            toshiba.geometry.block_transfer_time_ms(1)
+        )
+
+    def test_overhead_matches_model(self, toshiba):
+        b = toshiba.access(100, False, 0.0)
+        assert b.overhead_ms == TOSHIBA_MK156F.controller_overhead_ms
+
+    def test_rotation_bounded(self, toshiba):
+        for t in (0.0, 7.3, 200.12):
+            b = toshiba.access(321, True, t)
+            assert 0 <= b.rotation_ms < toshiba.geometry.rotation_time_ms
+
+    def test_access_counts(self, toshiba):
+        toshiba.access(1, True, 0.0)
+        toshiba.access(2, False, 50.0)
+        assert toshiba.accesses == 2
+
+    def test_invalid_block_rejected(self, toshiba):
+        with pytest.raises(ValueError):
+            toshiba.access(toshiba.geometry.total_blocks, True, 0.0)
+
+
+class TestTrackBufferIntegration:
+    def test_toshiba_has_no_buffer(self, toshiba):
+        assert toshiba.track_buffer is None
+
+    def test_fujitsu_has_buffer(self, fujitsu):
+        assert fujitsu.track_buffer is not None
+
+    def test_sequential_read_hits_buffer(self, fujitsu):
+        first = fujitsu.access(100, True, 0.0)
+        assert not first.buffer_hit
+        second = fujitsu.access(101, True, first.finish_ms)
+        assert second.buffer_hit
+        assert second.seek_ms == 0.0
+        assert second.rotation_ms == 0.0
+        assert second.transfer_ms == FUJITSU_M2266.track_buffer_transfer_ms
+
+    def test_buffer_hit_leaves_head_in_place(self, fujitsu):
+        first = fujitsu.access(100, True, 0.0)
+        head = fujitsu.head_cylinder
+        fujitsu.access(101, True, first.finish_ms)
+        assert fujitsu.head_cylinder == head
+
+    def test_buffer_hit_much_faster_than_media_read(self, fujitsu):
+        first = fujitsu.access(100, True, 0.0)
+        hit = fujitsu.access(101, True, first.finish_ms)
+        assert hit.service_ms < first.service_ms
+
+    def test_write_does_not_hit_buffer(self, fujitsu):
+        first = fujitsu.access(100, True, 0.0)
+        write = fujitsu.access(101, False, first.finish_ms)
+        assert not write.buffer_hit
+
+    def test_write_invalidates_buffered_block(self, fujitsu):
+        t = fujitsu.access(100, True, 0.0).finish_ms
+        t = fujitsu.access(101, False, t).finish_ms  # overwrite block 101
+        reread = fujitsu.access(101, True, t)
+        assert not reread.buffer_hit
+
+
+class TestDataContents:
+    def test_unwritten_block_reads_none(self, toshiba):
+        assert toshiba.read_data(5) is None
+
+    def test_write_then_read(self, toshiba):
+        toshiba.write_data(5, "payload")
+        assert toshiba.read_data(5) == "payload"
+
+    def test_overwrite(self, toshiba):
+        toshiba.write_data(5, "old")
+        toshiba.write_data(5, "new")
+        assert toshiba.read_data(5) == "new"
+
+    def test_data_address_validated(self, toshiba):
+        with pytest.raises(ValueError):
+            toshiba.write_data(-1, "x")
+        with pytest.raises(ValueError):
+            toshiba.read_data(toshiba.geometry.total_blocks)
+
+
+class TestSeekTimesMatchPaperScale:
+    def test_full_sweep_service_reasonable(self, toshiba):
+        """A long seek on the Toshiba costs tens of milliseconds."""
+        far_block = toshiba.geometry.block_at(700, 0)
+        b = toshiba.access(far_block, True, 0.0)
+        assert 20 < b.seek_ms < 45
+        assert b.service_ms < 70

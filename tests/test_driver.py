@@ -1,0 +1,220 @@
+"""Tests for repro.driver.driver — the adaptive device driver."""
+
+import pytest
+
+from repro.disk.disk import Disk
+from repro.disk.label import DiskLabel
+from repro.disk.models import TOSHIBA_MK156F
+from repro.driver.driver import AdaptiveDiskDriver, DriverError
+from repro.driver.request import DiskRequest, Op, read_request, write_request
+
+
+@pytest.fixture
+def driver():
+    label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=48)
+    return AdaptiveDiskDriver(disk=Disk(TOSHIBA_MK156F), label=label)
+
+
+def run_to_completion(driver, request, now=None):
+    completion = driver.strategy(request, now if now is not None else request.arrival_ms)
+    finished = []
+    while completion is not None:
+        done, completion = driver.complete(completion)
+        finished.append(done)
+    return finished
+
+
+class TestStrategy:
+    def test_maps_logical_to_physical(self, driver):
+        request = read_request(0, 0.0)
+        run_to_completion(driver, request)
+        assert request.physical_block == 0
+        assert request.home_cylinder == 0
+        assert not request.redirected
+
+    def test_mapping_skips_reserved_area(self, driver):
+        per_cyl = driver.disk.geometry.blocks_per_cylinder
+        request = read_request(383 * per_cyl, 0.0)
+        run_to_completion(driver, request)
+        assert request.physical_block == (383 + 48) * per_cyl
+
+    def test_redirects_rearranged_block(self, driver):
+        reserved = driver.label.reserved_data_blocks()[0]
+        driver.block_table.add(0, reserved)
+        request = read_request(0, 0.0)
+        run_to_completion(driver, request)
+        assert request.redirected
+        assert request.target_block == reserved
+        # The home cylinder still reflects the original location
+        # (feeds the FCFS counterfactual).
+        assert request.home_cylinder == 0
+
+    def test_busy_disk_queues_followups(self, driver):
+        first = read_request(0, 0.0)
+        completion = driver.strategy(first, 0.0)
+        assert completion is not None
+        second = read_request(100, 0.1)
+        assert driver.strategy(second, 0.1) is None
+        assert driver.queued == 1
+        assert driver.busy
+
+    def test_complete_starts_next(self, driver):
+        completion = driver.strategy(read_request(0, 0.0), 0.0)
+        driver.strategy(read_request(100, 0.1), 0.1)
+        done, next_completion = driver.complete(completion)
+        assert done.logical_block == 0
+        assert next_completion is not None
+        done2, nothing = driver.complete(next_completion)
+        assert done2.logical_block == 100
+        assert nothing is None
+        assert not driver.busy
+
+    def test_timestamps_recorded(self, driver):
+        request = read_request(50, 5.0)
+        run_to_completion(driver, request)
+        assert request.submit_ms == 5.0
+        assert request.complete_ms > 5.0
+        assert request.queueing_ms == 0.0
+        assert request.service_ms > 0
+
+    def test_monitors_fed(self, driver):
+        run_to_completion(driver, read_request(0, 0.0))
+        assert len(driver.request_monitor) == 1
+        assert driver.perf_monitor.stats("read").requests == 1
+        assert driver.perf_monitor.stats("read").service.count == 1
+
+    def test_rejects_multiblock_requests(self, driver):
+        big = DiskRequest(logical_block=0, op=Op.READ, arrival_ms=0.0, size_blocks=4)
+        with pytest.raises(DriverError):
+            driver.strategy(big, 0.0)
+
+    def test_rejects_time_travel(self, driver):
+        with pytest.raises(DriverError):
+            driver.strategy(read_request(0, 10.0), 5.0)
+
+    def test_complete_without_inflight_raises(self, driver):
+        with pytest.raises(DriverError):
+            driver.complete(1.0)
+
+    def test_block_table_capacity_defaults_to_reserved_size(self, driver):
+        assert driver.block_table.capacity == driver.label.reserved_capacity_blocks()
+
+
+class TestWriteHandling:
+    def test_write_to_redirected_block_marks_dirty(self, driver):
+        reserved = driver.label.reserved_data_blocks()[0]
+        driver.block_table.add(0, reserved)
+        run_to_completion(driver, write_request(0, 0.0))
+        assert driver.block_table.lookup(0).dirty
+
+    def test_read_does_not_mark_dirty(self, driver):
+        reserved = driver.label.reserved_data_blocks()[0]
+        driver.block_table.add(0, reserved)
+        run_to_completion(driver, read_request(0, 0.0))
+        assert not driver.block_table.lookup(0).dirty
+
+    def test_tagged_write_lands_at_redirected_target(self, driver):
+        reserved = driver.label.reserved_data_blocks()[0]
+        driver.block_table.add(0, reserved)
+        run_to_completion(driver, write_request(0, 0.0, tag="v1"))
+        assert driver.disk.read_data(reserved) == "v1"
+        assert driver.disk.read_data(0) is None
+        assert driver.read_data(0) == "v1"
+
+
+class TestBlockMovement:
+    def test_bcopy_copies_data_and_registers(self, driver):
+        driver.disk.write_data(0, "payload")
+        reserved = driver.label.reserved_data_blocks()[0]
+        finish = driver.bcopy(0, reserved, now_ms=0.0)
+        assert finish > 0
+        assert driver.disk.read_data(reserved) == "payload"
+        entry = driver.block_table.lookup(0)
+        assert entry is not None and entry.reserved_block == reserved
+        # The table copy was forced to disk (Section 4.1.3).
+        assert driver.block_table.disk_copy() == {0: (reserved, False)}
+
+    def test_bcopy_counts_three_ios(self, driver):
+        reserved = driver.label.reserved_data_blocks()[0]
+        driver.bcopy(0, reserved, now_ms=0.0)
+        assert driver.io_counter.copy_in_ios == 2
+        assert driver.io_counter.table_write_ios == 1
+        assert driver.io_counter.total == 3
+
+    def test_bcopy_rejects_non_reserved_destination(self, driver):
+        with pytest.raises(DriverError):
+            driver.bcopy(0, 0, now_ms=0.0)
+
+    def test_bcopy_rejects_table_home_blocks(self, driver):
+        home = driver.label.block_table_home_blocks()[0]
+        with pytest.raises(DriverError):
+            driver.bcopy(0, home, now_ms=0.0)
+
+    def test_bcopy_rejects_while_busy(self, driver):
+        driver.strategy(read_request(0, 0.0), 0.0)
+        reserved = driver.label.reserved_data_blocks()[0]
+        with pytest.raises(DriverError):
+            driver.bcopy(5, reserved, now_ms=0.0)
+
+    def test_clean_returns_clean_blocks_without_copyback(self, driver):
+        reserved = driver.label.reserved_data_blocks()[0]
+        driver.disk.write_data(0, "original")
+        driver.bcopy(0, reserved, now_ms=0.0)
+        driver.io_counter = type(driver.io_counter)()  # reset counters
+        driver.clean(now_ms=0.0)
+        assert len(driver.block_table) == 0
+        assert driver.io_counter.move_out_ios == 0
+        assert driver.io_counter.table_write_ios == 1
+        assert driver.disk.read_data(0) == "original"
+
+    def test_clean_copies_dirty_blocks_home(self, driver):
+        reserved = driver.label.reserved_data_blocks()[0]
+        driver.disk.write_data(0, "v0")
+        driver.bcopy(0, reserved, now_ms=0.0)
+        run_to_completion(driver, write_request(0, 0.0, tag="v1"))
+        driver.io_counter = type(driver.io_counter)()
+        driver.clean(now_ms=1000.0)
+        # "two extra operations if the block is dirty" (Section 4.1.3)
+        assert driver.io_counter.move_out_ios == 2
+        assert driver.disk.read_data(0) == "v1"
+        assert driver.read_data(0) == "v1"
+
+    def test_clean_rejects_while_busy(self, driver):
+        driver.strategy(read_request(0, 0.0), 0.0)
+        with pytest.raises(DriverError):
+            driver.clean(0.0)
+
+
+class TestAttachRecovery:
+    def test_attach_recovers_flushed_table_all_dirty(self, driver):
+        reserved = driver.label.reserved_data_blocks()[0]
+        driver.bcopy(0, reserved, now_ms=0.0)
+        driver.block_table.crash()
+        driver.attach()
+        entry = driver.block_table.lookup(0)
+        assert entry is not None
+        assert entry.dirty  # conservative recovery
+        # A post-recovery clean copies the (dirty) block home.
+        driver.clean(0.0)
+        assert len(driver.block_table) == 0
+
+    def test_attach_on_plain_disk_is_noop(self):
+        label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=0)
+        plain = AdaptiveDiskDriver(disk=Disk(TOSHIBA_MK156F), label=label)
+        plain.attach()
+        assert len(plain.block_table) == 0
+
+
+class TestEndToEndRedirection:
+    def test_data_visible_through_redirection_cycle(self, driver):
+        """Write -> rearrange -> read -> update -> clean -> read: the data
+        seen through the logical address is always the latest version."""
+        run_to_completion(driver, write_request(7, 0.0, tag="gen1"))
+        reserved = driver.label.reserved_data_blocks()[10]
+        driver.bcopy(7, reserved, now_ms=100.0)
+        assert driver.read_data(7) == "gen1"
+        run_to_completion(driver, write_request(7, 200.0, tag="gen2"))
+        assert driver.read_data(7) == "gen2"
+        driver.clean(now_ms=300.0)
+        assert driver.read_data(7) == "gen2"
+        assert driver.disk.read_data(7) == "gen2"

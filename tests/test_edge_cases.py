@@ -1,0 +1,177 @@
+"""Edge cases and failure injection across modules."""
+
+import dataclasses
+
+import pytest
+
+from repro.disk.disk import Disk
+from repro.disk.label import DiskLabel
+from repro.disk.models import TOSHIBA_MK156F
+from repro.driver.driver import AdaptiveDiskDriver
+from repro.driver.request import Op, read_request
+from repro.sim.engine import Simulation
+from repro.sim.experiment import Experiment, ExperimentConfig
+from repro.sim.jobs import batch_job, sequential_job
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.profiles import SYSTEM_FS_PROFILE, USERS_FS_PROFILE
+
+
+def make_driver(reserved=48):
+    label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=reserved)
+    return AdaptiveDiskDriver(disk=Disk(TOSHIBA_MK156F), label=label)
+
+
+class TestRequestMonitorOverflow:
+    def test_suspension_under_slow_polling(self):
+        """If the analyzer polls too slowly the table fills and recording
+        suspends — requests are still *served*, only the record is lost."""
+        driver = make_driver()
+        driver.request_monitor.capacity = 5
+        simulation = Simulation(driver)
+        simulation.add_job(batch_job(0.0, list(range(20)), Op.READ))
+        completed = simulation.run()
+        assert len(completed) == 20  # service is unaffected
+        assert len(driver.request_monitor) == 5
+        assert driver.request_monitor.suspended_count == 15
+
+
+class TestEngineInterruption:
+    def test_run_until_preserves_in_flight_work(self):
+        driver = make_driver()
+        simulation = Simulation(driver)
+        simulation.add_job(batch_job(0.0, [0, 5000, 10000], Op.READ))
+        first = simulation.run(until_ms=1.0)  # before first completion
+        assert first == []
+        rest = simulation.run()
+        assert len(rest) == 3
+
+    def test_interleaved_run_calls_accumulate(self):
+        driver = make_driver()
+        simulation = Simulation(driver)
+        simulation.add_job(batch_job(0.0, [0], Op.READ))
+        simulation.add_job(batch_job(500.0, [100], Op.READ))
+        simulation.run(until_ms=250.0)
+        simulation.run()
+        assert len(simulation.completed) == 2
+
+
+class TestGeneratorCachedReads:
+    def test_cache_absorbs_repeated_reads(self):
+        profile = dataclasses.replace(
+            SYSTEM_FS_PROFILE.scaled(hours=1.0),
+            use_cache_for_reads=True,
+            cache_blocks=4096,
+        )
+        label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=48)
+        partition = label.add_partition("fs0", label.virtual_total_blocks)
+        cached = WorkloadGenerator(
+            profile, partition, 21, seed=3
+        ).generate_day()
+
+        uncached_profile = dataclasses.replace(
+            profile, use_cache_for_reads=False
+        )
+        label2 = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=48)
+        partition2 = label2.add_partition("fs0", label2.virtual_total_blocks)
+        uncached = WorkloadGenerator(
+            uncached_profile, partition2, 21, seed=3
+        ).generate_day()
+
+        assert cached.num_reads < uncached.num_reads
+
+    def test_fully_cached_sessions_emit_no_read_job(self):
+        profile = dataclasses.replace(
+            SYSTEM_FS_PROFILE.scaled(hours=0.5),
+            use_cache_for_reads=True,
+            cache_blocks=50_000,  # everything fits
+        )
+        label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=48)
+        partition = label.add_partition("fs0", label.virtual_total_blocks)
+        generator = WorkloadGenerator(profile, partition, 21, seed=3)
+        generator.generate_day()  # warm the cache
+        second = generator.generate_day()
+        # Nearly all re-reads of the hot set are absorbed.
+        assert second.num_reads < 0.7 * second.num_requests
+
+
+class TestKeepArrangement:
+    def test_keep_arrangement_skips_nightly_cycle(self):
+        config = ExperimentConfig(
+            profile=SYSTEM_FS_PROFILE.scaled(hours=0.25),
+            disk="toshiba",
+            seed=3,
+        )
+        experiment = Experiment(config)
+        experiment.run_day(rearranged=False, rearrange_tomorrow=True)
+        table_before = len(experiment.driver.block_table)
+        assert table_before > 0
+        experiment.run_day(
+            rearranged=True, rearrange_tomorrow=False, keep_arrangement=True
+        )
+        assert len(experiment.driver.block_table) == table_before
+        # And the analyzer still reset for the next day.
+        assert experiment.controller.analyzer.observed == 0
+
+
+class TestTinyReservedArea:
+    def test_one_reserved_cylinder_still_works(self):
+        driver = make_driver(reserved=1)
+        capacity = driver.label.reserved_capacity_blocks()
+        assert capacity == 21 - 2
+        from repro.core.arranger import BlockArranger
+        from repro.core.hotlist import HotBlockList
+        from repro.driver.ioctl import IoctlInterface
+
+        arranger = BlockArranger(IoctlInterface(driver))
+        hot = HotBlockList.from_pairs([(b, 10) for b in range(100)])
+        plan, __ = arranger.rearrange(hot, num_blocks=100, now_ms=0.0)
+        assert len(plan) == capacity
+
+
+class TestUsersProfileFallbacks:
+    def test_rewrite_on_full_filesystem_degrades_gracefully(self):
+        """When the FS cannot host a rewrite copy, the edit falls back to
+        in-place updates instead of failing."""
+        profile = dataclasses.replace(
+            USERS_FS_PROFILE.scaled(hours=0.25),
+            num_directories=2,
+            files_per_directory=12,
+            mean_file_blocks=30.0,
+            edit_session_fraction=1.0,
+            new_files_per_day=50,
+        )
+        label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=48)
+        # A deliberately tiny partition.
+        partition = label.add_partition("home", 21 * 40)
+        generator = WorkloadGenerator(profile, partition, 21, seed=3)
+        workload = generator.generate_day()  # must not raise
+        assert workload.num_requests > 0
+
+
+class TestDriverHeadState:
+    def test_head_position_persists_across_days(self):
+        driver = make_driver()
+        sim1 = Simulation(driver)
+        sim1.add_job(batch_job(0.0, [700 * 21], Op.READ))
+        sim1.run()
+        head = driver.disk.head_cylinder
+        assert head > 600
+        # A new simulation (new day) starts with the head where it was.
+        sim2 = Simulation(driver)
+        sim2.add_job(sequential_job(0.0, [700 * 21 + 1], Op.READ))
+        completed = sim2.run()
+        assert completed[0].seek_distance == 0
+
+
+class TestZeroLengthDay:
+    def test_empty_day_produces_empty_metrics(self):
+        from repro.driver.ioctl import IoctlInterface
+        from repro.stats.metrics import DayMetrics
+
+        driver = make_driver()
+        ioctl = IoctlInterface(driver)
+        metrics = DayMetrics.from_tables(
+            ioctl.read_stats(), TOSHIBA_MK156F.seek
+        )
+        assert metrics.all.requests == 0
+        assert metrics.all.mean_seek_time_ms == 0.0

@@ -1,0 +1,62 @@
+"""Tests for repro.sim.events."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.events import EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(5.0, "b")
+        queue.push(1.0, "a")
+        queue.push(3.0, "c")
+        assert [queue.pop().kind for __ in range(3)] == ["a", "c", "b"]
+
+    def test_ties_broken_by_insertion_order(self):
+        queue = EventQueue()
+        queue.push(1.0, "first", payload=1)
+        queue.push(1.0, "second", payload=2)
+        assert queue.pop().payload == 1
+        assert queue.pop().payload == 2
+
+    def test_clock_advances_on_pop(self):
+        queue = EventQueue()
+        queue.push(7.5, "x")
+        queue.pop()
+        assert queue.now_ms == 7.5
+
+    def test_cannot_schedule_in_the_past(self):
+        queue = EventQueue()
+        queue.push(5.0, "x")
+        queue.pop()
+        with pytest.raises(ValueError):
+            queue.push(4.0, "y")
+
+    def test_peek_and_len(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None
+        assert not queue
+        queue.push(2.0, "x")
+        assert queue.peek_time() == 2.0
+        assert len(queue) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_events_always_pop_in_nondecreasing_time(times):
+    queue = EventQueue()
+    for t in times:
+        queue.push(t, "e")
+    popped = [queue.pop().time_ms for __ in range(len(times))]
+    assert popped == sorted(times)

@@ -1,0 +1,159 @@
+"""Tests for repro.stats.histogram."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.stats.histogram import DistanceHistogram, TimeHistogram
+
+
+class TestTimeHistogram:
+    def test_empty(self):
+        hist = TimeHistogram()
+        assert hist.mean_ms == 0.0
+        assert hist.stdev_ms == 0.0
+        assert hist.cdf() == []
+        assert hist.fraction_below(100) == 0.0
+
+    def test_mean_is_full_resolution(self):
+        """Section 4.1.5: cumulative times keep full (microsecond)
+        resolution even though the distribution is 1 ms bucketed."""
+        hist = TimeHistogram()
+        hist.record(0.25)
+        hist.record(0.75)
+        assert hist.mean_ms == pytest.approx(0.5)
+        assert hist.buckets[0] == 2  # both land in the 0ms bucket
+
+    def test_bucketing_at_1ms(self):
+        hist = TimeHistogram()
+        hist.record(3.999)
+        hist.record(4.0)
+        assert hist.buckets[3] == 1
+        assert hist.buckets[4] == 1
+
+    def test_fraction_below(self):
+        hist = TimeHistogram()
+        for value in (5.0, 15.0, 25.0, 35.0):
+            hist.record(value)
+        assert hist.fraction_below(20.0) == pytest.approx(0.5)
+        assert hist.fraction_below(100.0) == 1.0
+        assert hist.fraction_below(1.0) == 0.0
+
+    def test_cdf_monotone_and_complete(self):
+        hist = TimeHistogram()
+        for value in (1.0, 2.0, 2.5, 9.0):
+            hist.record(value)
+        cdf = hist.cdf()
+        fractions = [f for __, f in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_percentile(self):
+        hist = TimeHistogram()
+        for value in range(100):
+            hist.record(float(value))
+        assert hist.percentile(0.5) == pytest.approx(50.0, abs=1.0)
+        assert hist.percentile(1.0) == pytest.approx(100.0, abs=1.0)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            TimeHistogram().percentile(1.5)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            TimeHistogram().record(-1.0)
+
+    def test_merge(self):
+        a, b = TimeHistogram(), TimeHistogram()
+        a.record(1.0)
+        b.record(3.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean_ms == pytest.approx(2.0)
+        assert a.max_ms == 3.0
+
+    def test_merge_resolution_mismatch(self):
+        a = TimeHistogram(resolution_ms=1.0)
+        b = TimeHistogram(resolution_ms=2.0)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_stdev(self):
+        hist = TimeHistogram()
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            hist.record(value)
+        assert hist.stdev_ms == pytest.approx(2.0)
+
+
+class TestDistanceHistogram:
+    def test_mean_and_zero_fraction(self):
+        hist = DistanceHistogram()
+        for distance in (0, 0, 0, 10):
+            hist.record(distance)
+        assert hist.mean == pytest.approx(2.5)
+        assert hist.zero_fraction == pytest.approx(0.75)
+
+    def test_empty(self):
+        hist = DistanceHistogram()
+        assert hist.mean == 0.0
+        assert hist.zero_fraction == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DistanceHistogram().record(-1)
+
+    def test_mean_time_via_seek_model(self):
+        from repro.disk.models import TOSHIBA_MK156F
+
+        hist = DistanceHistogram()
+        hist.record(0)
+        hist.record(100)
+        expected = TOSHIBA_MK156F.seek.time(100) / 2
+        assert hist.mean_time_ms(TOSHIBA_MK156F.seek) == pytest.approx(expected)
+
+    def test_merge(self):
+        a, b = DistanceHistogram(), DistanceHistogram()
+        a.record(1)
+        b.record(3)
+        a.merge(b)
+        assert a.count == 2 and a.mean == 2.0
+
+    def test_as_mapping_copy(self):
+        hist = DistanceHistogram()
+        hist.record(5)
+        mapping = hist.as_mapping()
+        mapping[5] = 99
+        assert hist.buckets[5] == 1
+
+
+@given(
+    samples=st.lists(
+        st.floats(min_value=0, max_value=10_000, allow_nan=False),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_time_histogram_matches_numpy(samples):
+    hist = TimeHistogram()
+    for sample in samples:
+        hist.record(sample)
+    assert hist.count == len(samples)
+    assert hist.mean_ms == pytest.approx(float(np.mean(samples)), rel=1e-9, abs=1e-9)
+    assert hist.max_ms == max(samples)
+    assert sum(hist.buckets.values()) == len(samples)
+
+
+@given(
+    samples=st.lists(
+        st.floats(min_value=0, max_value=500, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    ),
+    threshold=st.floats(min_value=0, max_value=600, allow_nan=False),
+)
+def test_fraction_below_agrees_with_bucketed_count(samples, threshold):
+    hist = TimeHistogram()
+    for sample in samples:
+        hist.record(sample)
+    expected = sum(1 for s in samples if int(s) < int(threshold)) / len(samples)
+    assert hist.fraction_below(threshold) == pytest.approx(expected)

@@ -1,0 +1,155 @@
+"""Tests for repro.driver.monitor — request and performance monitoring."""
+
+import pytest
+
+from repro.driver.monitor import PerformanceMonitor, RequestMonitor
+from repro.driver.request import DiskRequest, Op, read_request, write_request
+
+
+def finished_request(block, cylinder, is_read=True, arrival=0.0, submit=1.0,
+                     complete=10.0, seek_distance=0, rotation=2.0,
+                     transfer=3.0, buffer_hit=False):
+    request = DiskRequest(
+        logical_block=block,
+        op=Op.READ if is_read else Op.WRITE,
+        arrival_ms=arrival,
+    )
+    request.home_cylinder = cylinder
+    request.submit_ms = submit
+    request.complete_ms = complete
+    request.seek_distance = seek_distance
+    request.rotation_ms = rotation
+    request.transfer_ms = transfer
+    request.buffer_hit = buffer_hit
+    return request
+
+
+class TestRequestMonitor:
+    def test_records_arrivals(self):
+        monitor = RequestMonitor(capacity=10)
+        monitor.record(read_request(5, 1.0))
+        monitor.record(write_request(9, 2.0))
+        records = monitor.read_and_clear()
+        assert [(r.logical_block, r.is_read) for r in records] == [
+            (5, True),
+            (9, False),
+        ]
+
+    def test_read_and_clear_empties_table(self):
+        monitor = RequestMonitor(capacity=10)
+        monitor.record(read_request(5, 1.0))
+        monitor.read_and_clear()
+        assert monitor.read_and_clear() == []
+
+    def test_suspends_when_full(self):
+        """Section 4.1.4: if the table fills before being cleared,
+        recording is temporarily suspended."""
+        monitor = RequestMonitor(capacity=2)
+        for i in range(5):
+            monitor.record(read_request(i, float(i)))
+        assert len(monitor) == 2
+        assert monitor.suspended_count == 3
+        assert monitor.is_full
+
+    def test_recording_resumes_after_clear(self):
+        monitor = RequestMonitor(capacity=1)
+        monitor.record(read_request(1, 0.0))
+        monitor.record(read_request(2, 0.0))  # suspended
+        monitor.read_and_clear()
+        monitor.record(read_request(3, 0.0))
+        assert [r.logical_block for r in monitor.read_and_clear()] == [3]
+
+    def test_disabled_monitor_records_nothing(self):
+        monitor = RequestMonitor(capacity=10, enabled=False)
+        monitor.record(read_request(1, 0.0))
+        assert len(monitor) == 0
+
+
+class TestPerformanceMonitorArrivalOrder:
+    def test_first_arrival_records_no_distance(self):
+        monitor = PerformanceMonitor()
+        request = finished_request(1, cylinder=100)
+        monitor.note_arrival(request)
+        assert monitor.stats("all").arrival_seek.count == 0
+        assert monitor.stats("all").requests == 1
+
+    def test_arrival_distances_use_home_cylinders(self):
+        monitor = PerformanceMonitor()
+        monitor.note_arrival(finished_request(1, cylinder=100))
+        monitor.note_arrival(finished_request(2, cylinder=350))
+        assert monitor.stats("all").arrival_seek.mean == 250
+
+    def test_per_class_distance_chains_are_independent(self):
+        """The read-only FCFS counterfactual chains over reads only."""
+        monitor = PerformanceMonitor()
+        monitor.note_arrival(finished_request(1, cylinder=0, is_read=True))
+        monitor.note_arrival(finished_request(2, cylinder=500, is_read=False))
+        monitor.note_arrival(finished_request(3, cylinder=10, is_read=True))
+        assert monitor.stats("read").arrival_seek.mean == 10  # 0 -> 10
+        assert monitor.stats("write").arrival_seek.count == 0
+        # The combined stream saw 0 -> 500 -> 10.
+        assert monitor.stats("all").arrival_seek.total == 500 + 490
+
+    def test_arrival_requires_home_cylinder(self):
+        monitor = PerformanceMonitor()
+        with pytest.raises(ValueError):
+            monitor.note_arrival(read_request(1, 0.0))
+
+
+class TestPerformanceMonitorCompletion:
+    def test_completion_populates_all_tables(self):
+        monitor = PerformanceMonitor()
+        request = finished_request(
+            1, cylinder=10, seek_distance=7, rotation=4.0, transfer=3.0
+        )
+        monitor.note_arrival(request)
+        monitor.note_completion(request)
+        stats = monitor.stats("read")
+        assert stats.scheduled_seek.mean == 7
+        assert stats.service.mean_ms == pytest.approx(9.0)  # 10 - 1
+        assert stats.queueing.mean_ms == pytest.approx(1.0)  # 1 - 0
+        assert stats.rotation.mean_ms == pytest.approx(4.0)
+        assert stats.transfer.mean_ms == pytest.approx(3.0)
+
+    def test_buffer_hits_counted(self):
+        monitor = PerformanceMonitor()
+        request = finished_request(1, cylinder=10, buffer_hit=True)
+        monitor.note_arrival(request)
+        monitor.note_completion(request)
+        assert monitor.stats("read").buffer_hits == 1
+        assert monitor.stats("write").buffer_hits == 0
+
+    def test_completion_requires_breakdown(self):
+        monitor = PerformanceMonitor()
+        request = read_request(1, 0.0)
+        request.home_cylinder = 5
+        monitor.note_arrival(request)
+        with pytest.raises(ValueError):
+            monitor.note_completion(request)
+
+    def test_writes_do_not_pollute_read_stats(self):
+        monitor = PerformanceMonitor()
+        request = finished_request(1, cylinder=10, is_read=False)
+        monitor.note_arrival(request)
+        monitor.note_completion(request)
+        assert monitor.stats("read").requests == 0
+        assert monitor.stats("write").requests == 1
+        assert monitor.stats("all").requests == 1
+
+
+class TestReadAndClear:
+    def test_ioctl_semantics(self):
+        monitor = PerformanceMonitor()
+        request = finished_request(1, cylinder=10)
+        monitor.note_arrival(request)
+        monitor.note_completion(request)
+        tables = monitor.read_and_clear()
+        assert tables["all"].requests == 1
+        assert monitor.stats("all").requests == 0
+        # The arrival-distance chain also resets.
+        monitor.note_arrival(finished_request(2, cylinder=400))
+        assert monitor.stats("all").arrival_seek.count == 0
+
+    def test_unknown_scope(self):
+        with pytest.raises(KeyError):
+            PerformanceMonitor().stats("meta")

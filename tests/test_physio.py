@@ -1,0 +1,72 @@
+"""Tests for repro.driver.physio — raw-interface request splitting."""
+
+import pytest
+
+from repro.disk.disk import Disk
+from repro.disk.label import DiskLabel
+from repro.disk.models import TOSHIBA_MK156F
+from repro.driver.driver import AdaptiveDiskDriver
+from repro.driver.physio import physio, split_raw_request
+from repro.driver.request import DiskRequest, Op
+
+
+def raw_request(block, size, op=Op.READ, tag=None):
+    return DiskRequest(
+        logical_block=block, op=op, arrival_ms=0.0, size_blocks=size, tag=tag
+    )
+
+
+@pytest.fixture
+def driver():
+    label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=48)
+    return AdaptiveDiskDriver(disk=Disk(TOSHIBA_MK156F), label=label)
+
+
+class TestSplit:
+    def test_single_block_passthrough(self):
+        request = raw_request(10, 1)
+        assert split_raw_request(request) == [request]
+
+    def test_multi_block_split_covers_consecutive_blocks(self):
+        subrequests = split_raw_request(raw_request(10, 4))
+        assert [s.logical_block for s in subrequests] == [10, 11, 12, 13]
+        assert all(s.size_blocks == 1 for s in subrequests)
+
+    def test_split_preserves_direction_and_arrival(self):
+        subrequests = split_raw_request(raw_request(10, 3, op=Op.WRITE))
+        assert all(s.op is Op.WRITE for s in subrequests)
+        assert all(s.arrival_ms == 0.0 for s in subrequests)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            split_raw_request(raw_request(10, 0))
+
+
+class TestPhysio:
+    def test_partially_rearranged_span(self, driver):
+        """Section 4.1.2: a raw request may cover both rearranged and
+        untouched blocks; each sub-block follows its own mapping."""
+        reserved = driver.label.reserved_data_blocks()[0]
+        driver.block_table.add(
+            driver.label.virtual_to_physical_block(11), reserved
+        )
+        subrequests = physio(driver, raw_request(10, 3), now_ms=0.0)
+        redirected = [s.redirected for s in subrequests]
+        assert redirected == [False, True, False]
+        assert subrequests[1].target_block == reserved
+
+    def test_raw_write_lands_at_redirected_targets(self, driver):
+        reserved = driver.label.reserved_data_blocks()[5]
+        physical_11 = driver.label.virtual_to_physical_block(11)
+        driver.block_table.add(physical_11, reserved)
+        physio(driver, raw_request(10, 3, op=Op.WRITE, tag="raw"), now_ms=0.0)
+        assert driver.disk.read_data(reserved) == "raw"
+        assert driver.disk.read_data(physical_11) is None
+        # Dirty bit set on the rearranged block.
+        assert driver.block_table.lookup(physical_11).dirty
+
+    def test_all_subrequests_complete(self, driver):
+        subrequests = physio(driver, raw_request(0, 5), now_ms=0.0)
+        assert all(s.complete_ms is not None for s in subrequests)
+        assert not driver.busy
+        assert driver.queued == 0

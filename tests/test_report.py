@@ -1,0 +1,175 @@
+"""Tests for repro.stats.report — paper-style table rendering."""
+
+import pytest
+
+from repro.stats.histogram import TimeHistogram
+from repro.stats.metrics import (
+    DayMetrics,
+    MinAvgMax,
+    OnOffSummary,
+    ScopeMetrics,
+)
+from repro.stats.report import (
+    render_access_distribution,
+    render_day,
+    render_detail_table,
+    render_onoff_table,
+    render_policy_table,
+    render_service_cdf,
+    render_sweep,
+)
+
+
+def scope(seek=10.0, service=30.0, wait=50.0):
+    return ScopeMetrics(
+        requests=1000,
+        mean_seek_distance=40.0,
+        fcfs_mean_seek_distance=200.0,
+        zero_seek_fraction=0.25,
+        mean_seek_time_ms=seek,
+        fcfs_mean_seek_time_ms=20.0,
+        mean_service_ms=service,
+        mean_waiting_ms=wait,
+        mean_rotation_ms=8.0,
+        mean_transfer_ms=7.8,
+        buffer_hits=0,
+    )
+
+
+def mam(lo, mid, hi):
+    return MinAvgMax(min=lo, avg=mid, max=hi)
+
+
+class TestOnOffTable:
+    def test_contains_rows_and_reductions(self):
+        summary = OnOffSummary(
+            scope="all",
+            off_seek=mam(18.0, 19.5, 21.5),
+            on_seek=mam(1.0, 1.2, 1.6),
+            off_service=mam(38.0, 39.8, 41.7),
+            on_service=mam(22.6, 22.9, 23.3),
+            off_waiting=mam(65.0, 82.7, 94.5),
+            on_waiting=mam(40.4, 46.4, 51.1),
+        )
+        text = render_onoff_table(
+            [("Toshiba", "all", summary)], title="Table 2"
+        )
+        assert "Table 2" in text
+        assert "Toshiba" in text
+        assert "19.50" in text  # off seek avg
+        assert "1.20" in text  # on seek avg
+        assert "seek -94%" in text  # seek reduction line
+
+    def test_negative_reduction_shows_plus_sign(self):
+        summary = OnOffSummary(
+            scope="all",
+            off_seek=mam(10.0, 10.0, 10.0),
+            on_seek=mam(11.0, 11.0, 11.0),  # got worse
+            off_service=mam(30.0, 30.0, 30.0),
+            on_service=mam(30.0, 30.0, 30.0),
+            off_waiting=mam(50.0, 50.0, 50.0),
+            on_waiting=mam(50.0, 50.0, 50.0),
+        )
+        text = render_onoff_table([("Disk", "all", summary)], title="T")
+        assert "seek +10%" in text
+        reduction_line = next(l for l in text.splitlines() if "seek +" in l)
+        assert "--" not in reduction_line
+
+
+class TestDetailTable:
+    def test_rows_match_table_3_vocabulary(self):
+        text = render_detail_table(
+            [("Day 1 Off", scope()), ("Day 2 On", scope(seek=1.5))],
+            title="Table 3",
+        )
+        for row in (
+            "FCFS Mean Seek Dist",
+            "Mean Seek Distance",
+            "Zero-length Seeks",
+            "FCFS Mean Seek Time",
+            "Mean Seek Time",
+            "Mean Service Time",
+            "Mean Waiting Time",
+        ):
+            assert row in text
+        assert "Day 1 Off" in text and "Day 2 On" in text
+
+
+class TestPolicyTable:
+    def test_percentages_rendered(self):
+        text = render_policy_table(
+            [
+                (
+                    "Toshiba",
+                    {"organ-pipe": 0.95, "interleaved": 0.87, "serial": 0.58},
+                    {"organ-pipe": 0.76, "interleaved": 0.62, "serial": 0.40},
+                )
+            ],
+            title="Table 7",
+        )
+        assert "95" in text and "58" in text and "40" in text
+
+
+class TestServiceCdf:
+    def test_fractions_at_thresholds(self):
+        hist = TimeHistogram()
+        for value in (5.0, 15.0, 25.0, 35.0):
+            hist.record(value)
+        text = render_service_cdf(
+            [("off", hist)], title="Figure 4", points_ms=(10, 40)
+        )
+        assert "25.0%" in text
+        assert "100.0%" in text
+
+    def test_bars_rendered_when_requested(self):
+        hist = TimeHistogram()
+        hist.record(5.0)
+        hist.record(50.0)
+        text = render_service_cdf(
+            [("off", hist)], title="F", points_ms=(10,), bar_width=10
+        )
+        assert "#####....." in text  # 50% bar
+
+
+class TestAsciiBar:
+    def test_bounds_and_width(self):
+        from repro.stats.report import ascii_bar
+
+        assert ascii_bar(0.0, 4) == "...."
+        assert ascii_bar(1.0, 4) == "####"
+        assert ascii_bar(0.5, 4) == "##.."
+        assert ascii_bar(2.0, 4) == "####"  # clamped
+        assert ascii_bar(-1.0, 4) == "...."
+
+
+class TestAccessDistribution:
+    def test_ranks_and_shares(self):
+        counts = [100, 50, 25, 12, 6, 3, 2, 1, 1, 1]
+        text = render_access_distribution(
+            [("all requests", counts)], title="Figure 5", ranks=(1, 10)
+        )
+        assert "all requests" in text
+        assert "49.8%" in text  # top-1 share: 100/201
+        assert "100.0%" in text
+
+
+class TestSweep:
+    def test_sweep_rows(self):
+        text = render_sweep(
+            [(100, 0.9, 0.8), (1018, 0.95, 0.9)], title="Figure 8"
+        )
+        assert "100" in text and "1018" in text
+        assert "90.0%" in text
+
+
+class TestDayLine:
+    def test_one_line_summary(self):
+        metrics = DayMetrics(
+            day=3,
+            rearranged=True,
+            scopes={"all": scope(), "read": scope(), "write": scope()},
+        )
+        line = render_day(metrics, "toshiba")
+        assert "day  3" in line
+        assert "[on ]" in line
+        assert "toshiba" in line

@@ -1,0 +1,60 @@
+"""Tests for repro.driver.request."""
+
+import pytest
+
+from repro.driver.request import DiskRequest, Op, read_request, write_request
+
+
+class TestOp:
+    def test_is_read(self):
+        assert Op.READ.is_read
+        assert not Op.WRITE.is_read
+
+
+class TestConstruction:
+    def test_convenience_constructors(self):
+        read = read_request(5, 1.0)
+        write = write_request(6, 2.0, tag="x")
+        assert read.op is Op.READ and read.logical_block == 5
+        assert write.op is Op.WRITE and write.tag == "x"
+
+    def test_ids_unique(self):
+        a, b = read_request(1, 0.0), read_request(1, 0.0)
+        assert a.request_id != b.request_id
+
+    def test_repr_compact(self):
+        text = repr(read_request(5, 1.0))
+        assert "read" in text and "lbn=5" in text
+
+
+class TestLifecycleTimings:
+    def test_queueing_service_response(self):
+        request = read_request(5, 10.0)
+        request.submit_ms = 14.0
+        request.complete_ms = 50.0
+        assert request.queueing_ms == pytest.approx(4.0)
+        assert request.service_ms == pytest.approx(36.0)
+        assert request.response_ms == pytest.approx(40.0)
+
+    def test_response_is_queueing_plus_service(self):
+        request = read_request(5, 10.0)
+        request.submit_ms = 13.0
+        request.complete_ms = 41.0
+        assert request.response_ms == pytest.approx(
+            request.queueing_ms + request.service_ms
+        )
+
+    def test_unsubmitted_raises(self):
+        request = read_request(5, 10.0)
+        with pytest.raises(ValueError):
+            request.queueing_ms
+        with pytest.raises(ValueError):
+            request.service_ms
+        with pytest.raises(ValueError):
+            request.response_ms
+
+    def test_incomplete_raises(self):
+        request = read_request(5, 10.0)
+        request.submit_ms = 11.0
+        with pytest.raises(ValueError):
+            request.service_ms

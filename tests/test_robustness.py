@@ -1,0 +1,95 @@
+"""Robustness: the headline results must not be artifacts of one seed."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.experiment import ExperimentConfig, run_onoff_campaign
+from repro.stats.metrics import summarize_on_off
+from repro.workload.profiles import SYSTEM_FS_PROFILE, USERS_FS_PROFILE
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [5, 23, 101])
+def test_system_fs_reduction_across_seeds(seed):
+    config = ExperimentConfig(
+        profile=SYSTEM_FS_PROFILE.scaled(hours=2.0),
+        disk="toshiba",
+        seed=seed,
+    )
+    result = run_onoff_campaign(config, days=4)
+    summary = summarize_on_off(result.metrics())
+    assert summary.seek_reduction > 0.6, seed
+    assert summary.service_reduction > 0.15, seed
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [5, 23, 101])
+def test_users_fs_modest_reduction_across_seeds(seed):
+    config = ExperimentConfig(
+        profile=USERS_FS_PROFILE.scaled(hours=2.0),
+        disk="toshiba",
+        seed=seed,
+    )
+    result = run_onoff_campaign(config, days=4)
+    summary = summarize_on_off(result.metrics())
+    # Helps, but never approaches the system FS's ~90%.
+    assert 0.05 < summary.seek_reduction < 0.75, seed
+
+
+@pytest.mark.slow
+def test_system_beats_users_for_every_seed():
+    for seed in (5, 23):
+        system = summarize_on_off(
+            run_onoff_campaign(
+                ExperimentConfig(
+                    profile=SYSTEM_FS_PROFILE.scaled(hours=1.0),
+                    disk="toshiba",
+                    seed=seed,
+                ),
+                days=4,
+            ).metrics()
+        )
+        users = summarize_on_off(
+            run_onoff_campaign(
+                ExperimentConfig(
+                    profile=USERS_FS_PROFILE.scaled(hours=1.0),
+                    disk="toshiba",
+                    seed=seed,
+                ),
+                days=4,
+            ).metrics()
+        )
+        assert system.seek_reduction > users.seek_reduction, seed
+
+
+@pytest.mark.slow
+def test_day_length_does_not_flip_the_result():
+    """Scaled-down days weaken the effect but never reverse it."""
+    for hours in (0.5, 1.0, 3.0):
+        config = ExperimentConfig(
+            profile=SYSTEM_FS_PROFILE.scaled(hours=hours),
+            disk="toshiba",
+            seed=9,
+        )
+        result = run_onoff_campaign(config, days=4)
+        summary = summarize_on_off(result.metrics())
+        assert summary.seek_reduction > 0.3, hours
+
+
+@pytest.mark.slow
+def test_profile_knob_extremes_stay_stable():
+    """Pushing profile knobs to extremes must not crash the pipeline."""
+    extreme = dataclasses.replace(
+        SYSTEM_FS_PROFILE.scaled(hours=0.25),
+        session_clump_mean=6.0,
+        single_block_read_prob=1.0,
+        file_popularity_exponent=2.5,
+        sync_interval_s=5.0,
+        spike_interval_s=120.0,
+        spike_reads=50,
+    )
+    config = ExperimentConfig(profile=extreme, disk="toshiba", seed=2)
+    result = run_onoff_campaign(config, days=2)
+    assert result.days[0].metrics.all.requests > 0
+    assert result.days[1].metrics.all.requests > 0

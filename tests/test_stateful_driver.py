@@ -1,0 +1,120 @@
+"""Stateful (model-based) testing of the adaptive driver.
+
+Hypothesis drives random interleavings of reads, writes, block moves,
+cleans, crashes and recoveries against a simple oracle (a dict of the
+latest committed value per logical block).  Invariants checked after
+every step:
+
+* a read through the driver always returns the latest value written
+  through the driver, regardless of where the block physically lives;
+* the block table remains a bijection into the reserved area;
+* crash + attach never loses an update to a rearranged block.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.disk.disk import Disk
+from repro.disk.label import DiskLabel
+from repro.disk.models import TOSHIBA_MK156F
+from repro.driver.driver import AdaptiveDiskDriver
+from repro.driver.request import read_request, write_request
+
+BLOCKS = list(range(0, 200, 7))  # a small universe of logical blocks
+
+
+class AdaptiveDriverMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=4)
+        self.driver = AdaptiveDiskDriver(
+            disk=Disk(TOSHIBA_MK156F), label=label
+        )
+        self.reserved_pool = list(label.reserved_data_blocks())
+        self.oracle: dict[int, str] = {}
+        self.clock = 0.0
+        self.serial = 0
+
+    def _advance(self) -> float:
+        self.clock += 1000.0
+        return self.clock
+
+    def _serve(self, request) -> None:
+        completion = self.driver.strategy(request, request.arrival_ms)
+        while completion is not None:
+            __, completion = self.driver.complete(completion)
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+
+    @rule(block=st.sampled_from(BLOCKS))
+    def write(self, block: int) -> None:
+        self.serial += 1
+        value = f"v{self.serial}"
+        self._serve(write_request(block, self._advance(), tag=value))
+        self.oracle[block] = value
+
+    @rule(block=st.sampled_from(BLOCKS))
+    def read(self, block: int) -> None:
+        self._serve(read_request(block, self._advance()))
+        assert self.driver.read_data(block) == self.oracle.get(block)
+
+    @rule(block=st.sampled_from(BLOCKS))
+    def move_in(self, block: int) -> None:
+        physical = self.driver.label.virtual_to_physical_block(block)
+        if physical in self.driver.block_table:
+            return
+        occupied = self.driver.block_table.occupied_reserved_blocks()
+        free = [slot for slot in self.reserved_pool if slot not in occupied]
+        if not free:
+            return
+        self.driver.bcopy(block, free[0], now_ms=self._advance())
+
+    @rule()
+    def clean(self) -> None:
+        self.driver.clean(now_ms=self._advance())
+
+    @rule()
+    def crash_and_recover(self) -> None:
+        self.driver.block_table.crash()
+        self.driver.attach()
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def reads_see_latest_writes(self) -> None:
+        for block, value in self.oracle.items():
+            assert self.driver.read_data(block) == value
+
+    @invariant()
+    def block_table_is_bijective_into_reserved_area(self) -> None:
+        table = self.driver.block_table
+        reserved = set()
+        for entry in table.entries():
+            assert self.driver.label.is_reserved_block(entry.reserved_block)
+            assert entry.reserved_block not in reserved
+            reserved.add(entry.reserved_block)
+            assert table.original_of(entry.reserved_block) == (
+                entry.original_block
+            )
+
+    @invariant()
+    def disk_is_idle_between_steps(self) -> None:
+        assert not self.driver.busy
+        assert self.driver.queued == 0
+
+
+AdaptiveDriverMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=30, deadline=None
+)
+TestAdaptiveDriverStateful = AdaptiveDriverMachine.TestCase

@@ -1,0 +1,109 @@
+"""Tests for repro.workload.trace — trace serialization."""
+
+import io
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.driver.request import Op
+from repro.sim.jobs import Job, Step, batch_job, sequential_job
+from repro.workload.trace import dump_jobs, load_jobs, load_trace, save_trace
+
+
+def roundtrip(jobs):
+    stream = io.StringIO()
+    dump_jobs(jobs, stream)
+    stream.seek(0)
+    return load_jobs(stream)
+
+
+class TestRoundtrip:
+    def test_basic_roundtrip(self):
+        jobs = [
+            batch_job(100.0, [1, 2, 3], Op.WRITE, name="sync"),
+            sequential_job(250.5, [7, 9], Op.READ, think_ms=2.0, name="session"),
+        ]
+        loaded = roundtrip(jobs)
+        assert len(loaded) == 2
+        assert loaded[0].start_ms == 100.0
+        assert not loaded[0].sequential
+        assert loaded[0].name == "sync"
+        assert [s.logical_block for s in loaded[0].steps] == [1, 2, 3]
+        assert loaded[1].sequential
+        assert loaded[1].steps[0].think_ms == 2.0
+        assert loaded[1].steps[0].op is Op.READ
+
+    def test_unnamed_job(self):
+        loaded = roundtrip([batch_job(1.0, [5], Op.READ)])
+        assert loaded[0].name is None
+
+    def test_file_roundtrip(self, tmp_path):
+        jobs = [batch_job(10.0, [1], Op.WRITE)]
+        path = tmp_path / "trace.txt"
+        assert save_trace(jobs, path) == 1
+        loaded = load_trace(path)
+        assert loaded[0].steps[0].logical_block == 1
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self):
+        text = "# comment\n\nJ 1.0 batch -\nS r 5 0.0\n"
+        loaded = load_jobs(io.StringIO(text))
+        assert len(loaded) == 1
+
+    def test_step_before_job_rejected(self):
+        with pytest.raises(ValueError):
+            load_jobs(io.StringIO("S r 5 0.0\n"))
+
+    def test_job_without_steps_rejected(self):
+        with pytest.raises(ValueError):
+            load_jobs(io.StringIO("J 1.0 batch -\nJ 2.0 batch -\nS r 1 0\n"))
+
+    def test_malformed_records_rejected(self):
+        with pytest.raises(ValueError):
+            load_jobs(io.StringIO("J 1.0 batch\n"))
+        with pytest.raises(ValueError):
+            load_jobs(io.StringIO("J 1.0 batch -\nS r 5\n"))
+        with pytest.raises(ValueError):
+            load_jobs(io.StringIO("X what\n"))
+
+
+@given(
+    jobs_spec=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            st.booleans(),
+            st.lists(
+                st.tuples(
+                    st.booleans(),
+                    st.integers(min_value=0, max_value=10**6),
+                    st.floats(min_value=0, max_value=100, allow_nan=False),
+                ),
+                min_size=1,
+                max_size=10,
+            ),
+        ),
+        max_size=20,
+    )
+)
+def test_roundtrip_property(jobs_spec):
+    jobs = [
+        Job(
+            start_ms=start,
+            sequential=sequential,
+            steps=[
+                Step(block, Op.READ if is_read else Op.WRITE, think)
+                for is_read, block, think in steps
+            ],
+        )
+        for start, sequential, steps in jobs_spec
+    ]
+    loaded = roundtrip(jobs)
+    assert len(loaded) == len(jobs)
+    for original, restored in zip(jobs, loaded):
+        assert restored.start_ms == pytest.approx(original.start_ms)
+        assert restored.sequential == original.sequential
+        assert len(restored.steps) == len(original.steps)
+        for a, b in zip(original.steps, restored.steps):
+            assert (a.logical_block, a.op) == (b.logical_block, b.op)
+            assert b.think_ms == pytest.approx(a.think_ms)
