@@ -14,7 +14,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..disk.geometry import DiskGeometry
-from ..sim.jobs import Job
 from ..workload.distributions import top_k_share
 from ..workload.generator import DayWorkload
 

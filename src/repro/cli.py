@@ -3,19 +3,25 @@
 Subcommands::
 
     python -m repro onoff    --disk toshiba --profile system --days 6
-    python -m repro policies --disk toshiba --days 3
+    python -m repro policies --disk toshiba --days 3 --workers 3
     python -m repro sweep    --disk toshiba --counts 10,50,100,1018
     python -m repro workload --profile system --out day0.trace
     python -m repro replay   day0.trace --disk toshiba [--rearrange]
+    python -m repro trace    run.jsonl --disk toshiba
 
 All commands accept ``--hours`` to shorten the measurement day (the paper
-used 15-hour days) and ``--seed`` for reproducibility.
+used 15-hour days) and ``--seed`` for reproducibility.  ``onoff`` and
+``replay`` accept ``--trace FILE`` to record every request-lifecycle
+event as JSONL; the ``trace`` subcommand reduces such a file back to
+per-device day metrics.  ``policies`` and ``sweep`` accept ``--workers``
+to fan their independent campaigns across processes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 
 from .analysis.characterize import characterize, render_character
 from .core.analyzer import ReferenceStreamAnalyzer
@@ -27,12 +33,14 @@ from .disk.models import disk_model
 from .driver.driver import AdaptiveDiskDriver
 from .driver.ioctl import IoctlInterface
 from .driver.queue import make_queue
+from .obs import NULL_TRACER, JsonlTraceWriter, replay_day_metrics
 from .sim.engine import Simulation
 from .sim.experiment import (
     ExperimentConfig,
     run_block_count_sweep,
+    run_block_count_sweep_parallel,
+    run_campaigns_parallel,
     run_onoff_campaign,
-    run_policy_campaign,
 )
 from .stats.metrics import seek_time_reduction_vs_fcfs, summarize_on_off
 from .stats.report import (
@@ -68,7 +76,13 @@ def _config(args) -> ExperimentConfig:
 
 
 def cmd_onoff(args) -> int:
-    result = run_onoff_campaign(_config(args), days=args.days)
+    tracer = JsonlTraceWriter(args.trace) if args.trace else NULL_TRACER
+    try:
+        result = run_onoff_campaign(_config(args), days=args.days, tracer=tracer)
+    finally:
+        tracer.close()
+    if args.trace:
+        print(f"wrote {tracer.events_written} trace events -> {args.trace}\n")
     for day in result.days:
         print(render_day(day.metrics, args.disk))
     for scope in ("all", "read"):
@@ -84,10 +98,15 @@ def cmd_onoff(args) -> int:
 
 
 def cmd_policies(args) -> int:
+    config = _config(args)
+    schedule = [False] + [True] * (args.days - 1)
+    tasks = [
+        (policy, replace(config, placement_policy=policy), schedule)
+        for policy in ("organ-pipe", "interleaved", "serial")
+    ]
     columns = []
     rows = []
-    for policy in ("organ-pipe", "interleaved", "serial"):
-        result = run_policy_campaign(_config(args), policy, days=args.days)
+    for policy, result in run_campaigns_parallel(tasks, workers=args.workers):
         day = result.on_days()[-1].metrics
         columns.append((policy[:12], day.all))
         rows.append((policy, seek_time_reduction_vs_fcfs(day.all)))
@@ -104,7 +123,12 @@ def cmd_policies(args) -> int:
 
 def cmd_sweep(args) -> int:
     counts = [int(c) for c in args.counts.split(",")]
-    points = run_block_count_sweep(_config(args), counts)
+    if args.workers is not None and args.workers != 1:
+        points = run_block_count_sweep_parallel(
+            _config(args), counts, workers=args.workers
+        )
+    else:
+        points = run_block_count_sweep(_config(args), counts)
     rows = []
     for count, day in points:
         m = day.metrics.all
@@ -154,9 +178,15 @@ def cmd_replay(args) -> int:
         plan, __ = arranger.rearrange(hot, args.blocks, now_ms=0.0)
         print(f"rearranged {len(plan)} blocks ({plan.policy})")
         driver.perf_monitor.read_and_clear()
-    simulation = Simulation(driver)
+    tracer = JsonlTraceWriter(args.out_trace) if args.out_trace else NULL_TRACER
+    simulation = Simulation(driver, tracer=tracer)
     simulation.add_jobs(jobs)
-    completed = simulation.run()
+    try:
+        completed = simulation.run()
+    finally:
+        tracer.close()
+    if args.out_trace:
+        print(f"wrote {tracer.events_written} trace events -> {args.out_trace}")
     stats = driver.perf_monitor.stats("all")
     seek = model.seek.mean_time(stats.scheduled_seek.buckets)
     print(f"requests:     {len(completed)}")
@@ -164,6 +194,48 @@ def cmd_replay(args) -> int:
     print(f"mean service: {stats.service.mean_ms:.2f} ms")
     print(f"mean waiting: {stats.queueing.mean_ms:.2f} ms")
     print(f"zero seeks:   {stats.scheduled_seek.zero_fraction:.0%}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    models: dict[str, str] = {}
+    if args.disks:
+        for pair in args.disks.split(","):
+            device, __, disk = pair.partition("=")
+            if not disk:
+                raise SystemExit(
+                    f"--disks entries must look like device=model: {pair!r}"
+                )
+            models[device.strip()] = disk.strip()
+
+    def seek_model_for(device: str):
+        return disk_model(models.get(device, args.disk)).seek
+
+    # Peek at the devices first so each gets its own geometry's seek model.
+    from .obs import replay_monitors
+
+    try:
+        devices = sorted(replay_monitors(args.jsonl))
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace: {exc}")
+    if not devices:
+        print("no request events in trace")
+        return 1
+    try:
+        per_device = replay_day_metrics(
+            args.jsonl,
+            {device: seek_model_for(device) for device in devices},
+            day=args.day,
+            rearranged=args.rearranged,
+        )
+    except ValueError as exc:
+        raise SystemExit(
+            f"replay failed: {exc}\n"
+            "(multi-device traces usually need a per-device mapping, "
+            "e.g. --disks toshiba0=toshiba,fujitsu0=fujitsu)"
+        )
+    for device in devices:
+        print(render_day(per_device[device], device))
     return 0
 
 
@@ -178,16 +250,32 @@ def build_parser() -> argparse.ArgumentParser:
     onoff = sub.add_parser("onoff", help="alternating on/off campaign")
     _add_common(onoff)
     onoff.add_argument("--days", type=int, default=6)
+    onoff.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write request-lifecycle events to FILE as JSONL",
+    )
     onoff.set_defaults(func=cmd_onoff)
 
     policies = sub.add_parser("policies", help="placement-policy bake-off")
     _add_common(policies)
     policies.add_argument("--days", type=int, default=3)
+    policies.add_argument(
+        "--workers", type=int, default=None,
+        help="processes for the three policy campaigns "
+        "(default: one per campaign, up to the CPU count; results are "
+        "identical to --workers 1)",
+    )
     policies.set_defaults(func=cmd_policies)
 
     sweep = sub.add_parser("sweep", help="blocks-rearranged sweep (Fig. 8)")
     _add_common(sweep)
     sweep.add_argument("--counts", default="10,25,50,100,200,400,1018")
+    sweep.add_argument(
+        "--workers", type=int, default=1,
+        help="processes for the sweep; 1 (default) chains days exactly as "
+        "the paper did, >1 runs each count as an independent two-day "
+        "experiment concurrently (same curve, points differ slightly)",
+    )
     sweep.set_defaults(func=cmd_sweep)
 
     workload = sub.add_parser(
@@ -210,7 +298,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="pre-train rearrangement on the trace itself",
     )
     replay.add_argument("--blocks", type=int, default=1018)
+    replay.add_argument(
+        "--out-trace", default=None, metavar="FILE",
+        help="write request-lifecycle events to FILE as JSONL",
+    )
     replay.set_defaults(func=cmd_replay)
+
+    trace = sub.add_parser(
+        "trace", help="reduce a JSONL trace to per-device day metrics"
+    )
+    trace.add_argument("jsonl", help="trace file written by --trace")
+    trace.add_argument(
+        "--disk", choices=("toshiba", "fujitsu"), default="toshiba",
+        help="disk model whose seek curve converts FCFS distances to times",
+    )
+    trace.add_argument(
+        "--disks", default=None, metavar="DEV=MODEL[,DEV=MODEL...]",
+        help="per-device disk models for multi-device traces "
+        "(e.g. toshiba0=toshiba,fujitsu0=fujitsu)",
+    )
+    trace.add_argument("--day", type=int, default=0)
+    trace.add_argument("--rearranged", action="store_true")
+    trace.set_defaults(func=cmd_trace)
 
     return parser
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..driver.ioctl import IoctlInterface
+from ..obs.tracer import NULL_TRACER, Tracer
 from .analyzer import ReferenceStreamAnalyzer
 
 if TYPE_CHECKING:  # avoid a circular import with repro.sim
@@ -39,6 +40,9 @@ class RearrangementController:
     arranger: BlockArranger | None = None
     poll_interval_ms: float = MONITOR_POLL_INTERVAL_MS
     last_plan: RearrangementPlan | None = None
+    tracer: Tracer = NULL_TRACER
+    """Observation hooks for the nightly cycle; adopted from the
+    simulation on :meth:`attach_to` unless one was set explicitly."""
 
     def __post_init__(self) -> None:
         if self.arranger is None:
@@ -50,6 +54,8 @@ class RearrangementController:
 
     def attach_to(self, simulation: Simulation) -> None:
         """Register the analyzer's periodic request-table poll."""
+        if self.tracer is NULL_TRACER:
+            self.tracer = simulation.tracer
         simulation.add_periodic(
             self.poll_interval_ms,
             lambda now_ms: self.analyzer.poll(self.ioctl),
@@ -82,6 +88,10 @@ class RearrangementController:
         """
         self.final_poll()
         assert self.arranger is not None
+        device = self.ioctl.device_name
+        self.tracer.rearrangement_begin(
+            device, now_ms, num_blocks if rearrange_tomorrow else 0
+        )
         if rearrange_tomorrow:
             plan, finish = self.arranger.rearrange(
                 self.hot_list(), num_blocks, now_ms
@@ -90,5 +100,7 @@ class RearrangementController:
         else:
             finish = self.ioctl.clean(now_ms)
             self.last_plan = None
+        moved = len(self.last_plan) if self.last_plan is not None else 0
+        self.tracer.rearrangement_end(device, finish, moved)
         self.analyzer.reset()
         return finish

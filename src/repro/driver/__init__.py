@@ -16,6 +16,7 @@ from .monitor import (
     RequestRecord,
 )
 from .physio import physio, split_raw_request
+from .protocol import DeviceDriver
 from .queue import (
     QUEUE_POLICIES,
     CScanQueue,
@@ -33,6 +34,7 @@ __all__ = [
     "BlockTableEntry",
     "CScanQueue",
     "ClassStats",
+    "DeviceDriver",
     "DiskQueue",
     "DiskRequest",
     "DriverError",

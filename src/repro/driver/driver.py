@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 from ..disk.disk import Disk, ServiceBreakdown
 from ..disk.label import DiskLabel
+from ..obs.tracer import NULL_TRACER, Tracer
 from .blocktable import BlockTable
 from .monitor import PerformanceMonitor, RequestMonitor
 from .queue import DiskQueue, ScanQueue
@@ -69,6 +70,11 @@ class AdaptiveDiskDriver:
     block whose home cylinder is remapped is served from the mapped
     cylinder at the same within-cylinder offset.  Applied only when the
     block table does not already redirect the block."""
+    name: str = "disk0"
+    """Device name; set by the simulation engine on registration and used
+    to label this driver's tracer events in multi-device runs."""
+    tracer: Tracer = NULL_TRACER
+    """Request-lifecycle observation hooks (engine-installed by default)."""
     _current: DiskRequest | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -140,6 +146,7 @@ class AdaptiveDiskDriver:
             request.target_block
         )
         self.queue.push(request, target_cylinder)
+        self.tracer.request_enqueued(self.name, request, now_ms, len(self.queue))
         if not self.busy:
             return self._start_next(now_ms)
         return None
@@ -155,6 +162,7 @@ class AdaptiveDiskDriver:
         self._current = None
         request.complete_ms = now_ms
         self.perf_monitor.note_completion(request)
+        self.tracer.service_complete(self.name, request, now_ms)
         next_completion = None
         if self.queue:
             next_completion = self._start_next(now_ms)
@@ -167,6 +175,9 @@ class AdaptiveDiskDriver:
             request.target_block, request.is_read, now_ms
         )
         self._apply_breakdown(request, breakdown, now_ms)
+        self.tracer.seek_started(
+            self.name, request, now_ms, breakdown.seek_distance
+        )
         if not request.is_read:
             self._apply_write(request)
         self._current = request

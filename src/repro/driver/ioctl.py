@@ -45,6 +45,11 @@ class IoctlInterface:
 
     driver: AdaptiveDiskDriver
 
+    @property
+    def device_name(self) -> str:
+        """Name of the device this interface controls (e.g. ``disk0``)."""
+        return self.driver.name
+
     # -- block movement -------------------------------------------------
 
     def bcopy(self, logical_block: int, reserved_block: int, now_ms: float) -> float:

@@ -1,0 +1,65 @@
+"""The device-driver contract the simulation engine clocks against.
+
+The engine does not know what an *adaptive* driver is — it only needs a
+device that accepts requests, reports completion times, and can be started
+up.  :class:`DeviceDriver` is that boundary, written as a
+:class:`typing.Protocol` so any structurally conforming object (the
+paper's :class:`~repro.driver.driver.AdaptiveDiskDriver`, a trivial
+fixed-latency stub in a test, a future SSD model) can be registered with
+:class:`~repro.sim.engine.Simulation` under its own device name.
+
+The clocking contract, shared by every implementation:
+
+* :meth:`strategy` is called when a request arrives.  If the device was
+  idle it starts the operation and returns its completion time; if it was
+  busy it queues the request and returns ``None``.
+* :meth:`complete` is called by the engine at exactly the returned
+  completion time.  It returns the finished request plus the completion
+  time of the next operation the device started, or ``None`` if its queue
+  drained.
+
+Each driver keeps its *own* in-flight bookkeeping; the engine tracks one
+pending-completion event per device and never assumes a global
+single-operation invariant, which is what lets one event loop clock N
+disks concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.tracer import Tracer
+    from .request import DiskRequest
+
+
+@runtime_checkable
+class DeviceDriver(Protocol):
+    """Structural interface of one simulated device behind the engine."""
+
+    name: str
+    """Device name; the engine registers the driver under this key and
+    tracers label the driver's events with it."""
+
+    tracer: Tracer
+    """Observation hooks.  Drivers default this to
+    :data:`~repro.obs.tracer.NULL_TRACER`; the engine installs its own
+    tracer on registration unless one was set explicitly."""
+
+    @property
+    def busy(self) -> bool:
+        """True while a disk operation is in flight."""
+        ...
+
+    def attach(self) -> None:
+        """Start-up / crash-recovery entry point."""
+        ...
+
+    def strategy(self, request: DiskRequest, now_ms: float) -> float | None:
+        """Accept a request; return the new completion time, if any."""
+        ...
+
+    def complete(self, now_ms: float) -> tuple[DiskRequest, float | None]:
+        """Finish the in-flight operation; return it plus the next
+        operation's completion time (or ``None``)."""
+        ...

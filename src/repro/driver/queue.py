@@ -17,6 +17,7 @@ import bisect
 import itertools
 from abc import ABC, abstractmethod
 from collections import deque
+from typing import Iterator
 
 from .request import DiskRequest
 
@@ -33,6 +34,14 @@ class DiskQueue(ABC):
     @abstractmethod
     def pop(self, head_cylinder: int) -> DiskRequest:
         """Remove and return the next request to service."""
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[DiskRequest]:
+        """Iterate pending requests without removing them.
+
+        Order is the policy's internal storage order (arrival order for
+        FCFS, cylinder order for the sorted policies); used by
+        instrumentation and tests, never by the service path."""
 
     @abstractmethod
     def __len__(self) -> int: ...
@@ -57,6 +66,9 @@ class FCFSQueue(DiskQueue):
             raise IndexError("pop from empty disk queue")
         return self._queue.popleft()
 
+    def __iter__(self) -> Iterator[DiskRequest]:
+        return iter(self._queue)
+
     def __len__(self) -> int:
         return len(self._queue)
 
@@ -74,6 +86,9 @@ class _SortedCylinderQueue(DiskQueue):
         index = bisect.bisect_left(self._keys, key)
         self._keys.insert(index, key)
         self._requests.insert(index, request)
+
+    def __iter__(self) -> Iterator[DiskRequest]:
+        return iter(self._requests)
 
     def __len__(self) -> int:
         return len(self._requests)

@@ -1,0 +1,30 @@
+"""Instrumentation layer: tracer hooks, metrics tracers, JSONL traces.
+
+The simulation core (engine, drivers, rearrangement controller) reports
+request-lifecycle milestones to a :class:`Tracer`.  This package provides
+the hook interface, the default no-op tracer, a counting/histogram tracer
+that feeds :mod:`repro.stats.metrics`, and a JSONL trace writer whose
+files replay into the same :class:`~repro.stats.metrics.DayMetrics` the
+live run produced.
+"""
+
+from .jsonl import (
+    JsonlTraceWriter,
+    iter_trace,
+    replay_day_metrics,
+    replay_monitors,
+)
+from .metrics import MetricsTracer
+from .tracer import NULL_TRACER, MulticastTracer, NullTracer, Tracer
+
+__all__ = [
+    "JsonlTraceWriter",
+    "MetricsTracer",
+    "MulticastTracer",
+    "NULL_TRACER",
+    "NullTracer",
+    "Tracer",
+    "iter_trace",
+    "replay_day_metrics",
+    "replay_monitors",
+]

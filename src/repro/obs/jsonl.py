@@ -1,0 +1,225 @@
+"""JSONL request-lifecycle traces: write, read, and replay into metrics.
+
+:class:`JsonlTraceWriter` is a :class:`~repro.obs.tracer.Tracer` that
+appends one JSON object per event to a file.  Every field the driver's
+performance tables depend on is captured, so a trace can be *replayed*
+through a fresh :class:`~repro.driver.monitor.PerformanceMonitor` and
+reduced to the exact same :class:`~repro.stats.metrics.DayMetrics` the
+live run produced (Python's JSON float round-trip is exact, and events
+are written in the order the monitors consumed them).
+
+Line shapes (``event`` discriminates)::
+
+    {"event": "request-enqueued", "device": ..., "t": ..., "rid": ...,
+     "lbn": ..., "op": "read"|"write", "arrival_ms": ..., "home_cyl": ...,
+     "target": ..., "redirected": ..., "depth": ...}
+    {"event": "seek-started", "device": ..., "t": ..., "rid": ...,
+     "distance": ...}
+    {"event": "service-complete", "device": ..., "t": ..., "rid": ...,
+     "op": ..., "arrival_ms": ..., "submit_ms": ..., "complete_ms": ...,
+     "distance": ..., "seek_ms": ..., "rotation_ms": ..., "transfer_ms": ...,
+     "buffer_hit": ...}
+    {"event": "rearrangement-begin"|"rearrangement-end", "device": ...,
+     "t": ..., "blocks": ...}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Iterator, Mapping
+
+from ..driver.monitor import PerformanceMonitor
+from ..driver.request import DiskRequest, Op
+from ..stats.metrics import DayMetrics
+from .tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..disk.seek import SeekModel
+
+
+class JsonlTraceWriter(Tracer):
+    """Write request-lifecycle events to a JSONL file (or open stream).
+
+    A closed writer silently drops further events rather than raising:
+    simulations may outlive the tracer observing them (e.g. one traced
+    day of a longer campaign), and instrumentation must never crash the
+    system it observes.
+    """
+
+    def __init__(self, destination: str | Path | IO[str]) -> None:
+        if hasattr(destination, "write"):
+            self._stream: IO[str] = destination  # type: ignore[assignment]
+            self._owns_stream = False
+        else:
+            self._stream = open(destination, "w", encoding="utf-8")
+            self._owns_stream = True
+        self.events_written = 0
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _emit(self, record: dict) -> None:
+        if self._closed:
+            return
+        self._stream.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self.events_written += 1
+
+    # -- hook implementations -------------------------------------------
+
+    def request_enqueued(self, device, request, now_ms, queue_depth):
+        self._emit(
+            {
+                "event": "request-enqueued",
+                "device": device,
+                "t": now_ms,
+                "rid": request.request_id,
+                "lbn": request.logical_block,
+                "op": request.op.value,
+                "arrival_ms": request.arrival_ms,
+                "home_cyl": request.home_cylinder,
+                "target": request.target_block,
+                "redirected": request.redirected,
+                "depth": queue_depth,
+            }
+        )
+
+    def seek_started(self, device, request, now_ms, seek_distance):
+        self._emit(
+            {
+                "event": "seek-started",
+                "device": device,
+                "t": now_ms,
+                "rid": request.request_id,
+                "distance": seek_distance,
+            }
+        )
+
+    def service_complete(self, device, request, now_ms):
+        self._emit(
+            {
+                "event": "service-complete",
+                "device": device,
+                "t": now_ms,
+                "rid": request.request_id,
+                "op": request.op.value,
+                "arrival_ms": request.arrival_ms,
+                "submit_ms": request.submit_ms,
+                "complete_ms": request.complete_ms,
+                "distance": request.seek_distance,
+                "seek_ms": request.seek_ms,
+                "rotation_ms": request.rotation_ms,
+                "transfer_ms": request.transfer_ms,
+                "buffer_hit": request.buffer_hit,
+            }
+        )
+
+    def rearrangement_begin(self, device, now_ms, num_blocks):
+        self._emit(
+            {
+                "event": "rearrangement-begin",
+                "device": device,
+                "t": now_ms,
+                "blocks": num_blocks,
+            }
+        )
+
+    def rearrangement_end(self, device, now_ms, moved_blocks):
+        self._emit(
+            {
+                "event": "rearrangement-end",
+                "device": device,
+                "t": now_ms,
+                "blocks": moved_blocks,
+            }
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+        if self._owns_stream and not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def iter_trace(path: str | Path) -> Iterator[dict]:
+    """Yield trace records from a JSONL file, skipping blank lines."""
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def replay_monitors(path: str | Path) -> dict[str, PerformanceMonitor]:
+    """Re-drive per-device performance monitors from a JSONL trace.
+
+    ``request-enqueued`` records feed arrivals (in their original strategy
+    order, which the arrival-order/FCFS seek distribution depends on) and
+    ``service-complete`` records feed completions, so the reconstructed
+    tables match the live driver's bit for bit.
+    """
+    monitors: dict[str, PerformanceMonitor] = {}
+    for record in iter_trace(path):
+        device = record["device"]
+        kind = record["event"]
+        if kind == "request-enqueued":
+            request = DiskRequest(
+                logical_block=record["lbn"],
+                op=Op(record["op"]),
+                arrival_ms=record["arrival_ms"],
+            )
+            request.home_cylinder = record["home_cyl"]
+            monitors.setdefault(device, PerformanceMonitor()).note_arrival(
+                request
+            )
+        elif kind == "service-complete":
+            request = DiskRequest(
+                logical_block=-1,  # not used by completion accounting
+                op=Op(record["op"]),
+                arrival_ms=record["arrival_ms"],
+            )
+            request.submit_ms = record["submit_ms"]
+            request.complete_ms = record["complete_ms"]
+            request.seek_distance = record["distance"]
+            request.seek_ms = record["seek_ms"]
+            request.rotation_ms = record["rotation_ms"]
+            request.transfer_ms = record["transfer_ms"]
+            request.buffer_hit = record["buffer_hit"]
+            monitors.setdefault(device, PerformanceMonitor()).note_completion(
+                request
+            )
+    return monitors
+
+
+def replay_day_metrics(
+    path: str | Path,
+    seek_model: SeekModel | Mapping[str, SeekModel],
+    day: int = 0,
+    rearranged: bool = False,
+) -> dict[str, DayMetrics]:
+    """Replay a JSONL trace into per-device :class:`DayMetrics`.
+
+    ``seek_model`` is either one model shared by every device in the
+    trace or a ``{device: model}`` mapping when the devices differ (the
+    FCFS counterfactual converts home-cylinder seek distances to times,
+    which is geometry-specific).
+    """
+    models: Mapping[str, SeekModel] | None = (
+        seek_model if isinstance(seek_model, Mapping) else None
+    )
+    metrics: dict[str, DayMetrics] = {}
+    for device, monitor in replay_monitors(path).items():
+        model = models[device] if models is not None else seek_model
+        metrics[device] = DayMetrics.from_tables(
+            monitor.read_and_clear(), model, day=day, rearranged=rearranged
+        )
+    return metrics

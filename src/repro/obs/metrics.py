@@ -1,0 +1,97 @@
+"""Counting/histogram tracer: in-memory metrics from lifecycle events.
+
+:class:`MetricsTracer` is the observability counterpart of the driver's
+own performance tables — it rebuilds the same per-class seek/service/
+queueing distributions, but from tracer events, keeping one
+:class:`~repro.driver.monitor.PerformanceMonitor` per device plus plain
+event counters.  Feeding :mod:`repro.stats.metrics` from it therefore
+yields the *same* :class:`~repro.stats.metrics.DayMetrics` the driver
+reports through ``DKIOCREADSTATS``, which is what makes traces (live or
+replayed from JSONL) directly comparable with the paper's tables.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+from ..driver.monitor import PerformanceMonitor
+from ..stats.metrics import DayMetrics
+from .tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..disk.seek import SeekModel
+
+
+class MetricsTracer(Tracer):
+    """Accumulate per-device event counts and performance histograms."""
+
+    def __init__(self) -> None:
+        self.event_counts: Counter[tuple[str, str]] = Counter()
+        self._monitors: dict[str, PerformanceMonitor] = {}
+        self.max_queue_depth: dict[str, int] = {}
+        self.rearranged_blocks: Counter[str] = Counter()
+
+    def _monitor(self, device: str) -> PerformanceMonitor:
+        if device not in self._monitors:
+            self._monitors[device] = PerformanceMonitor()
+        return self._monitors[device]
+
+    # -- hook implementations -------------------------------------------
+
+    def request_enqueued(self, device, request, now_ms, queue_depth):
+        self.event_counts[(device, "request-enqueued")] += 1
+        if queue_depth > self.max_queue_depth.get(device, 0):
+            self.max_queue_depth[device] = queue_depth
+        self._monitor(device).note_arrival(request)
+
+    def seek_started(self, device, request, now_ms, seek_distance):
+        self.event_counts[(device, "seek-started")] += 1
+
+    def service_complete(self, device, request, now_ms):
+        self.event_counts[(device, "service-complete")] += 1
+        self._monitor(device).note_completion(request)
+
+    def rearrangement_begin(self, device, now_ms, num_blocks):
+        self.event_counts[(device, "rearrangement-begin")] += 1
+
+    def rearrangement_end(self, device, now_ms, moved_blocks):
+        self.event_counts[(device, "rearrangement-end")] += 1
+        self.rearranged_blocks[device] += moved_blocks
+
+    # -- reductions ------------------------------------------------------
+
+    @property
+    def devices(self) -> list[str]:
+        return sorted(self._monitors)
+
+    def counts(self, device: str) -> dict[str, int]:
+        """Event counts for one device, keyed by event kind."""
+        return {
+            kind: count
+            for (dev, kind), count in sorted(self.event_counts.items())
+            if dev == device
+        }
+
+    def monitor(self, device: str) -> PerformanceMonitor:
+        """The accumulating performance monitor for ``device``."""
+        return self._monitor(device)
+
+    def day_metrics(
+        self,
+        device: str,
+        seek_model: SeekModel,
+        day: int = 0,
+        rearranged: bool = False,
+    ) -> DayMetrics:
+        """Reduce one device's accumulated tables to :class:`DayMetrics`.
+
+        Reads and clears the device's tables, mirroring the
+        ``DKIOCREADSTATS`` semantics of the driver path.
+        """
+        return DayMetrics.from_tables(
+            self._monitor(device).read_and_clear(),
+            seek_model,
+            day=day,
+            rearranged=rearranged,
+        )

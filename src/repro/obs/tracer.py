@@ -1,0 +1,117 @@
+"""The tracer hook interface: how the simulation is observed.
+
+Every layer of the simulation core reports request-lifecycle milestones to
+a :class:`Tracer`:
+
+* the **driver** reports ``request_enqueued`` when the strategy routine
+  accepts a request, ``seek_started`` when the disk arm starts moving for
+  it, and ``service_complete`` when the disk returns it;
+* the **rearrangement controller** brackets the nightly block moves with
+  ``rearrangement_begin`` / ``rearrangement_end``.
+
+The engine owns one tracer per :class:`~repro.sim.engine.Simulation` and
+threads it down to every registered device driver and attached controller,
+so a single tracer observes the whole machine.  The default is
+:data:`NULL_TRACER`, whose hooks are all no-ops — the hot path pays only
+an attribute lookup and an empty call.
+
+This module is a leaf: it imports nothing from the rest of ``repro`` so
+that the driver, engine and controller can all depend on it without
+cycles.  Concrete tracers with heavier dependencies live in
+:mod:`repro.obs.metrics` (histogram/counting) and :mod:`repro.obs.jsonl`
+(trace files).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..driver.request import DiskRequest
+
+
+class Tracer:
+    """Observation hooks for the request lifecycle.
+
+    Subclass and override any subset; the base implementations do nothing,
+    so a tracer only pays for the events it cares about.  ``device`` is the
+    name under which the driver is registered with the simulation engine,
+    which is what makes multi-device traces attributable.
+    """
+
+    def request_enqueued(
+        self,
+        device: str,
+        request: DiskRequest,
+        now_ms: float,
+        queue_depth: int,
+    ) -> None:
+        """The driver's strategy routine accepted ``request``."""
+
+    def seek_started(
+        self,
+        device: str,
+        request: DiskRequest,
+        now_ms: float,
+        seek_distance: int,
+    ) -> None:
+        """The disk started moving its arm to service ``request``."""
+
+    def service_complete(
+        self, device: str, request: DiskRequest, now_ms: float
+    ) -> None:
+        """The disk finished ``request`` (all timestamps are filled in)."""
+
+    def rearrangement_begin(
+        self, device: str, now_ms: float, num_blocks: int
+    ) -> None:
+        """The nightly cycle started (``num_blocks`` requested; 0 = clean)."""
+
+    def rearrangement_end(
+        self, device: str, now_ms: float, moved_blocks: int
+    ) -> None:
+        """The nightly cycle finished after moving ``moved_blocks``."""
+
+    def close(self) -> None:
+        """Release any resources (files, sockets).  Default: nothing."""
+
+
+class NullTracer(Tracer):
+    """The do-nothing tracer; inherits every no-op hook."""
+
+
+NULL_TRACER = NullTracer()
+"""Shared default tracer.  Layers treat *identity* with this object as
+"no tracer installed", which lets the engine thread its own tracer into
+drivers and controllers without clobbering one set explicitly."""
+
+
+class MulticastTracer(Tracer):
+    """Fan every event out to several tracers, in registration order."""
+
+    def __init__(self, tracers: Iterable[Tracer]) -> None:
+        self.tracers: list[Tracer] = list(tracers)
+
+    def request_enqueued(self, device, request, now_ms, queue_depth):
+        for tracer in self.tracers:
+            tracer.request_enqueued(device, request, now_ms, queue_depth)
+
+    def seek_started(self, device, request, now_ms, seek_distance):
+        for tracer in self.tracers:
+            tracer.seek_started(device, request, now_ms, seek_distance)
+
+    def service_complete(self, device, request, now_ms):
+        for tracer in self.tracers:
+            tracer.service_complete(device, request, now_ms)
+
+    def rearrangement_begin(self, device, now_ms, num_blocks):
+        for tracer in self.tracers:
+            tracer.rearrangement_begin(device, now_ms, num_blocks)
+
+    def rearrangement_end(self, device, now_ms, moved_blocks):
+        for tracer in self.tracers:
+            tracer.rearrangement_end(device, now_ms, moved_blocks)
+
+    def close(self):
+        for tracer in self.tracers:
+            tracer.close()

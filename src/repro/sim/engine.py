@@ -1,27 +1,46 @@
 """The discrete-event simulation engine.
 
 :class:`Simulation` connects a workload (a set of :class:`~repro.sim.jobs.Job`
-objects) to one :class:`~repro.driver.AdaptiveDiskDriver`.  It owns the
-clock and the event heap; the driver reports completion times for disk
-operations and the engine turns them into events.  Periodic callbacks model
-the user-level daemons (the reference stream analyzer polls the driver's
-request table every two minutes in the paper's experiments).
+objects) to one or more device drivers conforming to
+:class:`~repro.driver.protocol.DeviceDriver`.  It owns the clock, the typed
+event heap and the event bus; each driver reports completion times for its
+disk operations and the engine turns them into :class:`DeviceComplete`
+events — one pending completion per device, with the in-flight bookkeeping
+kept per device so N disks can be clocked concurrently by one loop.
+Periodic callbacks model the user-level daemons (the reference stream
+analyzer polls the driver's request table every two minutes in the paper's
+experiments).
+
+Instrumentation: the engine holds a :class:`~repro.obs.tracer.Tracer` and
+installs it on every registered driver that does not already carry one, so
+a single tracer observes request lifecycles across all devices.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable, Mapping
 
-from ..driver.driver import AdaptiveDiskDriver
+from ..driver.protocol import DeviceDriver
 from ..driver.request import DiskRequest
-from .events import EventQueue
+from ..obs.tracer import NULL_TRACER, Tracer
+from .events import (
+    DeviceComplete,
+    EventBus,
+    EventQueue,
+    JobStart,
+    PeriodicFire,
+    StepIssue,
+)
 from .jobs import Job
 
-JOB_START = "job-start"
-STEP_ISSUE = "step-issue"
-DISK_COMPLETE = "disk-complete"
-PERIODIC = "periodic"
+DEFAULT_DEVICE = "disk0"
+"""Name under which a driver without one is registered."""
+
+_WORK_EVENTS = (JobStart, StepIssue, DeviceComplete)
+"""Event kinds that represent outstanding workload (periodic daemon fires
+do not keep the simulation alive by themselves)."""
 
 
 @dataclass
@@ -32,30 +51,119 @@ class _PeriodicTask:
 
 
 @dataclass
-class Simulation:
-    """Event loop joining jobs, driver and disk."""
+class DeviceState:
+    """Per-device bookkeeping: one entry per registered driver."""
 
-    driver: AdaptiveDiskDriver
-    events: EventQueue = field(default_factory=EventQueue)
+    name: str
+    driver: DeviceDriver
+    outstanding: int = 0
+    completion_scheduled: bool = False
     completed: list[DiskRequest] = field(default_factory=list)
-    _outstanding: int = 0
-    _waiting_jobs: dict[int, tuple[Job, int]] = field(default_factory=dict)
-    _completion_scheduled: bool = False
+
+
+class Simulation:
+    """Event loop joining jobs, one or more drivers, and their disks.
+
+    ``Simulation(driver)`` registers a single device (the common
+    single-disk configuration); ``Simulation(drivers={...})`` or repeated
+    :meth:`add_device` calls clock several disks from the same event heap.
+    """
+
+    def __init__(
+        self,
+        driver: DeviceDriver | None = None,
+        *,
+        drivers: Mapping[str, DeviceDriver] | None = None,
+        events: EventQueue | None = None,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        if driver is not None and drivers:
+            raise ValueError("pass either one driver or a drivers mapping")
+        self.events = events if events is not None else EventQueue()
+        self.bus = EventBus()
+        self.tracer = tracer
+        self.completed: list[DiskRequest] = []
+        self._devices: dict[str, DeviceState] = {}
+        self._waiting_jobs: dict[int, tuple[Job, int, str]] = {}
+        self.bus.subscribe(JobStart, self._on_job_start)
+        self.bus.subscribe(StepIssue, self._on_step_issue)
+        self.bus.subscribe(DeviceComplete, self._on_device_complete)
+        self.bus.subscribe(PeriodicFire, self._on_periodic_fire)
+        if driver is not None:
+            self.add_device(driver)
+        for name, drv in (drivers or {}).items():
+            self.add_device(drv, name=name)
 
     @property
     def now_ms(self) -> float:
         return self.events.now_ms
 
     # ------------------------------------------------------------------
+    # Devices
+    # ------------------------------------------------------------------
+
+    def add_device(
+        self, driver: DeviceDriver, name: str | None = None
+    ) -> DeviceState:
+        """Register a driver under ``name`` (default: the driver's own).
+
+        The registered name becomes the driver's ``name`` so that tracer
+        events are labeled consistently, and the engine's tracer is
+        installed on the driver unless one was set explicitly.
+        """
+        device = name or getattr(driver, "name", None) or DEFAULT_DEVICE
+        if device in self._devices:
+            raise ValueError(f"device {device!r} is already registered")
+        if getattr(driver, "name", None) != device:
+            driver.name = device
+        if (
+            self.tracer is not NULL_TRACER
+            and getattr(driver, "tracer", None) is NULL_TRACER
+        ):
+            driver.tracer = self.tracer
+        state = DeviceState(name=device, driver=driver)
+        self._devices[device] = state
+        return state
+
+    @property
+    def devices(self) -> dict[str, DeviceState]:
+        """Registered devices by name (read-only by convention)."""
+        return self._devices
+
+    @property
+    def driver(self) -> DeviceDriver:
+        """The sole registered driver (single-device configurations)."""
+        if len(self._devices) != 1:
+            raise ValueError(
+                f"simulation has {len(self._devices)} devices; "
+                "use .devices[name].driver"
+            )
+        return next(iter(self._devices.values())).driver
+
+    def completed_on(self, device: str) -> list[DiskRequest]:
+        """Requests completed by ``device``, in completion order."""
+        return self._devices[device].completed
+
+    def _default_device(self) -> str:
+        if len(self._devices) != 1:
+            raise ValueError(
+                "several devices are registered; pass device= explicitly"
+            )
+        return next(iter(self._devices))
+
+    # ------------------------------------------------------------------
     # Workload definition
     # ------------------------------------------------------------------
 
-    def add_job(self, job: Job) -> None:
-        self.events.push(job.start_ms, JOB_START, job)
+    def add_job(self, job: Job, device: str | None = None) -> None:
+        target = device if device is not None else self._default_device()
+        if target not in self._devices:
+            raise KeyError(f"unknown device {target!r}")
+        self.events.push(job.start_ms, JobStart(job, target))
 
-    def add_jobs(self, jobs: list[Job]) -> None:
+    def add_jobs(self, jobs: Iterable[Job], device: str | None = None) -> None:
         for job in jobs:
-            self.add_job(job)
+            self.add_job(job, device=device)
 
     def add_periodic(
         self,
@@ -66,14 +174,27 @@ class Simulation:
     ) -> None:
         """Run ``callback(now_ms)`` every ``interval_ms``.
 
-        Periodic tasks stop firing automatically once no workload remains,
-        so they never keep the simulation alive by themselves.
+        The first firing is scheduled relative to the clock *at
+        registration time* — for a task registered mid-drain (e.g. from
+        another callback) that is the time of the event currently being
+        processed, never a half-advanced peek time.  Periodic tasks stop
+        firing automatically once no workload remains, so they never keep
+        the simulation alive by themselves.
         """
+        if not math.isfinite(interval_ms):
+            raise ValueError(
+                f"interval_ms must be finite, got {interval_ms}"
+            )
         if interval_ms <= 0:
             raise ValueError("interval_ms must be positive")
+        if start_offset_ms is not None and not math.isfinite(start_offset_ms):
+            raise ValueError(
+                f"start_offset_ms must be finite, got {start_offset_ms}"
+            )
         task = _PeriodicTask(interval_ms, callback, name)
+        base = self.now_ms
         first = start_offset_ms if start_offset_ms is not None else interval_ms
-        self.events.push(self.now_ms + first, PERIODIC, task)
+        self.events.push(base + first, PeriodicFire(task))
 
     # ------------------------------------------------------------------
     # Event loop
@@ -83,7 +204,7 @@ class Simulation:
         """Process events until the workload drains (or ``until_ms``).
 
         Returns the list of requests completed during this call, in
-        completion order.
+        completion order (across all devices).
         """
         completed_before = len(self.completed)
         while self.events:
@@ -91,73 +212,71 @@ class Simulation:
             assert next_time is not None
             if until_ms is not None and next_time > until_ms:
                 break
-            event = self.events.pop()
-            if event.kind == JOB_START:
-                self._start_job(event.payload)
-            elif event.kind == STEP_ISSUE:
-                job, index = event.payload
-                self._issue_step(job, index)
-            elif event.kind == DISK_COMPLETE:
-                self._complete_disk()
-            elif event.kind == PERIODIC:
-                self._run_periodic(event.payload)
-            else:  # pragma: no cover - defensive
-                raise RuntimeError(f"unknown event kind {event.kind!r}")
+            self.bus.dispatch(self.events.pop())
         return self.completed[completed_before:]
 
     @property
     def has_pending_work(self) -> bool:
         """True while requests are in flight or jobs are still scheduled."""
-        if self._outstanding > 0:
+        if any(state.outstanding > 0 for state in self._devices.values()):
             return True
-        work_kinds = (JOB_START, STEP_ISSUE, DISK_COMPLETE)
-        return any(
-            event.kind in work_kinds for __, __, event in self.events._heap
-        )
+        return any(True for __ in self.events.pending(_WORK_EVENTS))
 
     # ------------------------------------------------------------------
-    # Internals
+    # Handlers
     # ------------------------------------------------------------------
 
-    def _start_job(self, job: Job) -> None:
+    def _on_job_start(self, event: JobStart) -> None:
+        job = event.job
         if job.sequential:
             first_think = job.steps[0].think_ms
             self.events.push(
-                self.now_ms + first_think, STEP_ISSUE, (job, 0)
+                self.now_ms + first_think, StepIssue(job, 0, event.device)
             )
         else:
             for index in range(len(job.steps)):
-                self._issue_step(job, index)
+                self._issue_step(job, index, event.device)
 
-    def _issue_step(self, job: Job, index: int) -> None:
+    def _on_step_issue(self, event: StepIssue) -> None:
+        self._issue_step(event.job, event.index, event.device)
+
+    def _issue_step(self, job: Job, index: int, device: str) -> None:
+        state = self._devices[device]
         request = job.request_for(index, self.now_ms)
-        self._outstanding += 1
+        state.outstanding += 1
         if job.sequential and index + 1 < len(job.steps):
-            self._waiting_jobs[request.request_id] = (job, index + 1)
-        completion = self.driver.strategy(request, self.now_ms)
+            self._waiting_jobs[request.request_id] = (job, index + 1, device)
+        completion = state.driver.strategy(request, self.now_ms)
         if completion is not None:
-            self._schedule_completion(completion)
+            self._schedule_completion(state, completion)
 
-    def _complete_disk(self) -> None:
-        self._completion_scheduled = False
-        request, next_completion = self.driver.complete(self.now_ms)
-        self._outstanding -= 1
+    def _on_device_complete(self, event: DeviceComplete) -> None:
+        state = self._devices[event.device]
+        state.completion_scheduled = False
+        request, next_completion = state.driver.complete(self.now_ms)
+        state.outstanding -= 1
+        state.completed.append(request)
         self.completed.append(request)
         follow_up = self._waiting_jobs.pop(request.request_id, None)
         if follow_up is not None:
-            job, next_index = follow_up
+            job, next_index, device = follow_up
             think = job.steps[next_index].think_ms
-            self.events.push(self.now_ms + think, STEP_ISSUE, (job, next_index))
+            self.events.push(
+                self.now_ms + think, StepIssue(job, next_index, device)
+            )
         if next_completion is not None:
-            self._schedule_completion(next_completion)
+            self._schedule_completion(state, next_completion)
 
-    def _schedule_completion(self, time_ms: float) -> None:
-        if self._completion_scheduled:  # pragma: no cover - defensive
-            raise RuntimeError("two disk operations in flight")
-        self.events.push(time_ms, DISK_COMPLETE)
-        self._completion_scheduled = True
+    def _schedule_completion(self, state: DeviceState, time_ms: float) -> None:
+        if state.completion_scheduled:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"device {state.name!r} has two operations in flight"
+            )
+        self.events.push(time_ms, DeviceComplete(state.name))
+        state.completion_scheduled = True
 
-    def _run_periodic(self, task: _PeriodicTask) -> None:
+    def _on_periodic_fire(self, event: PeriodicFire) -> None:
+        task = event.task
         task.callback(self.now_ms)
         if self.has_pending_work:
-            self.events.push(self.now_ms + task.interval_ms, PERIODIC, task)
+            self.events.push(self.now_ms + task.interval_ms, PeriodicFire(task))

@@ -1,44 +1,83 @@
-"""A minimal discrete-event queue.
+"""Typed simulation events, the time-ordered queue, and the event bus.
 
-Events are ``(time_ms, kind, payload)``; ties are broken by insertion
-order, which keeps the simulation deterministic for a fixed seed.
+Events are small frozen dataclasses — one class per kind of occurrence —
+rather than ``(kind-string, payload)`` pairs.  The queue orders them by
+``(time_ms, insertion sequence)``; ties are broken by insertion order,
+which keeps the simulation deterministic for a fixed seed.  The
+:class:`EventBus` dispatches a popped event to the handlers subscribed to
+its exact type, so adding a new event kind means adding a dataclass and a
+subscription, not editing a string-matching ``if`` chain.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable, Iterator
 
 
-@dataclass(frozen=True)
-class Event:
-    """One scheduled occurrence."""
+@dataclass(frozen=True, eq=False)
+class SimEvent:
+    """Base class of every typed simulation event."""
 
-    time_ms: float
-    kind: str
-    payload: Any = None
+
+@dataclass(frozen=True, eq=False)
+class JobStart(SimEvent):
+    """A workload job reaches its start time on ``device``."""
+
+    job: Any
+    device: str
+
+
+@dataclass(frozen=True, eq=False)
+class StepIssue(SimEvent):
+    """One step of a (closed-loop) job is issued to ``device``."""
+
+    job: Any
+    index: int
+    device: str
+
+
+@dataclass(frozen=True, eq=False)
+class DeviceComplete(SimEvent):
+    """The in-flight disk operation on ``device`` finishes."""
+
+    device: str
+
+
+@dataclass(frozen=True, eq=False)
+class PeriodicFire(SimEvent):
+    """A registered periodic task (user-level daemon) fires."""
+
+    task: Any
 
 
 @dataclass
 class EventQueue:
-    """Time-ordered event heap with deterministic tie-breaking."""
+    """Time-ordered event heap with deterministic tie-breaking.
 
-    _heap: list[tuple[float, int, Event]] = field(default_factory=list)
+    Heap entries are ``(time_ms, seq, event)``; ``seq`` is unique, so the
+    event objects themselves are never compared.
+    """
+
+    _heap: list[tuple[float, int, SimEvent]] = field(default_factory=list)
     _seq: itertools.count = field(default_factory=itertools.count)
     now_ms: float = 0.0
 
-    def push(self, time_ms: float, kind: str, payload: Any = None) -> Event:
+    def push(self, time_ms: float, event: SimEvent) -> SimEvent:
+        """Schedule ``event`` at ``time_ms`` (which must not be in the past)."""
+        if not math.isfinite(time_ms):
+            raise ValueError(f"cannot schedule at non-finite time {time_ms}")
         if time_ms < self.now_ms:
             raise ValueError(
                 f"cannot schedule at {time_ms} before now ({self.now_ms})"
             )
-        event = Event(time_ms=time_ms, kind=kind, payload=payload)
         heapq.heappush(self._heap, (time_ms, next(self._seq), event))
         return event
 
-    def pop(self) -> Event:
+    def pop(self) -> SimEvent:
         """Remove and return the earliest event, advancing the clock."""
         if not self._heap:
             raise IndexError("pop from empty event queue")
@@ -51,8 +90,61 @@ class EventQueue:
             return None
         return self._heap[0][0]
 
+    def pending(
+        self,
+        kinds: type[SimEvent] | tuple[type[SimEvent], ...] | None = None,
+    ) -> Iterator[SimEvent]:
+        """Iterate scheduled events in firing order, without popping.
+
+        ``kinds`` filters by event class (a single type or a tuple, as for
+        ``isinstance``); ``None`` yields everything.  This is the public
+        way to ask "is work still scheduled?" — callers must not reach
+        into the heap.
+        """
+        for __, __, event in sorted(
+            self._heap, key=lambda entry: (entry[0], entry[1])
+        ):
+            if kinds is None or isinstance(event, kinds):
+                yield event
+
     def __len__(self) -> int:
         return len(self._heap)
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+
+class UnhandledEventError(RuntimeError):
+    """An event was dispatched with no subscribed handler."""
+
+
+class EventBus:
+    """Exact-type event dispatch.
+
+    Handlers subscribe per event class and are invoked in subscription
+    order.  Dispatch is by ``type(event)`` — deliberately not by
+    ``isinstance`` — so the routing stays a single dict lookup and there
+    is exactly one obvious handler set per event kind.
+    """
+
+    def __init__(self) -> None:
+        self._handlers: dict[type[SimEvent], list[Callable[[Any], None]]] = {}
+
+    def subscribe(
+        self,
+        event_type: type[SimEvent],
+        handler: Callable[[Any], None],
+    ) -> None:
+        self._handlers.setdefault(event_type, []).append(handler)
+
+    def dispatch(self, event: SimEvent) -> None:
+        handlers = self._handlers.get(type(event))
+        if not handlers:
+            raise UnhandledEventError(
+                f"no handler subscribed for {type(event).__name__}"
+            )
+        for handler in handlers:
+            handler(event)
+
+    def handles(self, event_type: type[SimEvent]) -> bool:
+        return bool(self._handlers.get(event_type))

@@ -1,13 +1,21 @@
-"""Several file systems sharing one adaptive disk.
+"""Shared-media configurations: several file systems, several disks.
 
-Section 4.1.1: "A disk may have several partitions and consequently
-several file systems on it.  However, only a single reserved region will
-be implemented by the driver, and blocks from any of the file systems may
-be copied there."  This module runs that configuration: multiple
-workload generators, one per partition, feeding a single driver whose
-analyzer/arranger operate on the merged request stream — so the hot block
-list competes across file systems, exactly as on the paper's server when
-it hosted both the *system* and *users* data.
+Two configurations from the paper's measured server live here:
+
+* :class:`MultiFSExperiment` — Section 4.1.1: "A disk may have several
+  partitions and consequently several file systems on it.  However, only
+  a single reserved region will be implemented by the driver, and blocks
+  from any of the file systems may be copied there."  Multiple workload
+  generators, one per partition, feed a single driver whose
+  analyzer/arranger operate on the merged request stream — so the hot
+  block list competes across file systems.
+
+* :class:`MultiDiskExperiment` — the measured system itself ran *two*
+  disks (the Toshiba MK156F *system* disk and the Fujitsu M2266 *users*
+  disk) behind one modified driver.  Here each physical disk gets its own
+  adaptive driver, analyzer and arranger, and a single
+  :class:`~repro.sim.engine.Simulation` clocks all of them concurrently,
+  producing per-device metrics.
 """
 
 from __future__ import annotations
@@ -20,13 +28,14 @@ from ..core.controller import RearrangementController
 from ..core.placement import make_policy
 from ..disk.disk import Disk
 from ..disk.label import DiskLabel, Partition
-from ..disk.models import disk_model
+from ..disk.models import DiskModel, disk_model
 from ..driver.driver import AdaptiveDiskDriver
 from ..driver.ioctl import IoctlInterface
 from ..driver.queue import make_queue
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..stats.metrics import DayMetrics
 from ..workload.generator import WorkloadGenerator
-from ..workload.profiles import WorkloadProfile
+from ..workload.profiles import WorkloadProfile, profile_for_disk
 from .engine import Simulation
 
 
@@ -64,7 +73,9 @@ class MultiFSExperiment:
         num_rearranged: int | None = None,
         placement_policy: str = "organ-pipe",
         queue_policy: str = "scan",
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
+        self.tracer = tracer
         if not specs:
             raise ValueError("need at least one file system")
         if sum(spec.fraction for spec in specs) > 1.0 + 1e-9:
@@ -131,7 +142,7 @@ class MultiFSExperiment:
         self._day += 1
 
         per_fs_requests: dict[str, int] = {}
-        simulation = Simulation(self.driver)
+        simulation = Simulation(self.driver, tracer=self.tracer)
         self.controller.attach_to(simulation)
         for partition, generator in zip(self.partitions, self.generators):
             workload = generator.generate_day()
@@ -167,4 +178,164 @@ class MultiFSExperiment:
             per_fs_requests=per_fs_requests,
             rearranged_blocks=blocks_in_table,
             rearranged_per_fs=rearranged_per_fs,
+        )
+
+
+# ----------------------------------------------------------------------
+# Several physical disks behind one engine
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """One physical disk in a multi-device simulation."""
+
+    disk: str  # "toshiba" or "fujitsu"
+    profile: WorkloadProfile
+    name: str | None = None  # device name; default "<model><index>"
+    seed: int = 1993
+    reserved_cylinders: int | None = None  # default: the paper's choice
+    num_rearranged: int | None = None  # default: the paper's choice
+    placement_policy: str = "organ-pipe"
+    queue_policy: str = "scan"
+
+
+@dataclass
+class _DiskRig:
+    """Everything assembled around one physical disk."""
+
+    name: str
+    model: DiskModel
+    driver: AdaptiveDiskDriver
+    ioctl: IoctlInterface
+    controller: RearrangementController
+    generator: WorkloadGenerator
+    num_rearranged: int
+
+
+@dataclass
+class MultiDiskDayResult:
+    """One day of a multi-disk run, attributed per device."""
+
+    per_device: dict[str, DayMetrics]
+    per_device_requests: dict[str, int]
+    rearranged_blocks: dict[str, int]
+
+    @property
+    def total_requests(self) -> int:
+        return sum(self.per_device_requests.values())
+
+
+class MultiDiskExperiment:
+    """N adaptive disks clocked concurrently by one simulation engine.
+
+    Each spec builds an independent disk + driver + analyzer/arranger
+    stack (its own reserved area, its own nightly cycle), mirroring the
+    paper's two-disk server.  A single event loop interleaves their
+    completions; a single tracer, if given, observes every device.
+    """
+
+    def __init__(
+        self, specs: list[DiskSpec], tracer: Tracer = NULL_TRACER
+    ) -> None:
+        from .experiment import PAPER_REARRANGED_BLOCKS, PAPER_RESERVED_CYLINDERS
+
+        if not specs:
+            raise ValueError("need at least one disk")
+        self.tracer = tracer
+        self.rigs: dict[str, _DiskRig] = {}
+        for index, spec in enumerate(specs):
+            name = spec.name or f"{spec.disk}{index}"
+            if name in self.rigs:
+                raise ValueError(f"duplicate device name {name!r}")
+            model = disk_model(spec.disk)
+            reserved = (
+                spec.reserved_cylinders
+                if spec.reserved_cylinders is not None
+                else PAPER_RESERVED_CYLINDERS[spec.disk]
+            )
+            label = DiskLabel(model.geometry, reserved_cylinders=reserved)
+            driver = AdaptiveDiskDriver(
+                disk=Disk(model),
+                label=label,
+                queue=make_queue(spec.queue_policy),
+                name=name,
+            )
+            ioctl = IoctlInterface(driver)
+            controller = RearrangementController(
+                ioctl=ioctl,
+                analyzer=ReferenceStreamAnalyzer(),
+                arranger=BlockArranger(
+                    ioctl, policy=make_policy(spec.placement_policy)
+                ),
+            )
+            profile = profile_for_disk(spec.profile, spec.disk)
+            partition = label.add_partition(
+                f"{name}-fs", label.virtual_total_blocks
+            )
+            generator = WorkloadGenerator(
+                profile,
+                partition,
+                model.geometry.blocks_per_cylinder,
+                seed=spec.seed,
+            )
+            self.rigs[name] = _DiskRig(
+                name=name,
+                model=model,
+                driver=driver,
+                ioctl=ioctl,
+                controller=controller,
+                generator=generator,
+                num_rearranged=(
+                    spec.num_rearranged
+                    if spec.num_rearranged is not None
+                    else PAPER_REARRANGED_BLOCKS[spec.disk]
+                ),
+            )
+        self._day = 0
+
+    @property
+    def device_names(self) -> list[str]:
+        return list(self.rigs)
+
+    def run_day(
+        self, rearranged: bool, rearrange_tomorrow: bool
+    ) -> MultiDiskDayResult:
+        """One day: every disk serves its own workload on a shared clock."""
+        day = self._day
+        self._day += 1
+
+        simulation = Simulation(
+            drivers={name: rig.driver for name, rig in self.rigs.items()},
+            tracer=self.tracer,
+        )
+        per_device_requests: dict[str, int] = {}
+        for name, rig in self.rigs.items():
+            rig.controller.attach_to(simulation)
+            workload = rig.generator.generate_day()
+            per_device_requests[name] = workload.num_requests
+            simulation.add_jobs(workload.jobs, device=name)
+        simulation.run()
+        end_of_day = simulation.now_ms
+
+        per_device: dict[str, DayMetrics] = {}
+        rearranged_blocks: dict[str, int] = {}
+        for name, rig in self.rigs.items():
+            per_device[name] = DayMetrics.from_tables(
+                rig.ioctl.read_stats(),
+                rig.model.seek,
+                day=day,
+                rearranged=rearranged,
+            )
+            rearranged_blocks[name] = len(rig.driver.block_table)
+        for rig in self.rigs.values():
+            rig.controller.end_of_day(
+                now_ms=end_of_day,
+                rearrange_tomorrow=rearrange_tomorrow,
+                num_blocks=rig.num_rearranged,
+            )
+        return MultiDiskDayResult(
+            per_device=per_device,
+            per_device_requests=per_device_requests,
+            rearranged_blocks=rearranged_blocks,
         )

@@ -2,13 +2,12 @@
 
 import dataclasses
 
-import pytest
 
 from repro.disk.disk import Disk
 from repro.disk.label import DiskLabel
 from repro.disk.models import TOSHIBA_MK156F
 from repro.driver.driver import AdaptiveDiskDriver
-from repro.driver.request import Op, read_request
+from repro.driver.request import Op
 from repro.sim.engine import Simulation
 from repro.sim.experiment import Experiment, ExperimentConfig
 from repro.sim.jobs import batch_job, sequential_job

@@ -130,6 +130,40 @@ class TestPeriodicTasks:
         with pytest.raises(ValueError):
             simulation.add_periodic(0.0, lambda now: None)
 
+    def test_non_finite_interval_rejected(self, simulation):
+        with pytest.raises(ValueError, match="finite"):
+            simulation.add_periodic(float("inf"), lambda now: None)
+        with pytest.raises(ValueError, match="finite"):
+            simulation.add_periodic(float("nan"), lambda now: None)
+
+    def test_non_finite_start_offset_rejected(self, simulation):
+        with pytest.raises(ValueError, match="finite"):
+            simulation.add_periodic(
+                100.0, lambda now: None, start_offset_ms=float("inf")
+            )
+
+    def test_registration_mid_drain_uses_fire_time_base(self, simulation):
+        """A periodic registered from inside another callback schedules
+        relative to the firing time, not a stale or peeked clock."""
+        inner_ticks = []
+
+        def register_inner(now_ms):
+            if not inner_ticks:
+                simulation.add_periodic(50.0, inner_ticks.append, name="inner")
+            inner_ticks.append(now_ms)
+
+        simulation.add_job(
+            sequential_job(0.0, list(range(10)), Op.READ, think_ms=100.0)
+        )
+        simulation.add_periodic(
+            200.0, register_inner, start_offset_ms=100.0, name="outer"
+        )
+        simulation.run()
+        # Outer first fires at 100; the inner task registered there must
+        # first fire at 100 + 50.
+        assert inner_ticks[0] == 100.0
+        assert 150.0 in inner_ticks
+
 
 class TestStatsFlow:
     def test_completed_requests_carry_breakdowns(self, simulation):

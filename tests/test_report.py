@@ -1,6 +1,5 @@
 """Tests for repro.stats.report — paper-style table rendering."""
 
-import pytest
 
 from repro.stats.histogram import TimeHistogram
 from repro.stats.metrics import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.driver.request import DiskRequest, Op, read_request, write_request
+from repro.driver.request import Op, read_request, write_request
 
 
 class TestOp:

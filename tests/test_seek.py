@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.disk.models import FUJITSU_M2266, TOSHIBA_MK156F
-from repro.disk.seek import SeekCurve, SeekModel
+from repro.disk.seek import SeekCurve
 
 
 class TestPublishedToshibaFunction:

@@ -5,7 +5,6 @@ tests check the conservation and timing laws any correct discrete-event
 disk simulation must obey.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.disk.disk import Disk
