@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Mid-rearrangement crash, recovery, and graceful degradation.
+
+The paper's server had to survive power failures in the middle of the
+nightly rearrangement (Section 4.1.2): the block table's on-disk copy in
+the reserved area always correctly lists the rearranged blocks, so after
+a crash the table is re-read with every entry conservatively marked
+dirty and no update is ever lost.  This example stages that exact
+scenario with the fault injector, then shows the two robustness paths
+around it: a crash during the measurement day (with NFS-style client
+retries) and the health monitor downgrading the nightly cycle on a disk
+that is throwing errors.
+
+Usage::
+
+    python examples/crash_recovery.py [hours-per-day]
+"""
+
+import sys
+
+from repro import (
+    BlockTableInvariants,
+    Experiment,
+    ExperimentConfig,
+    FaultPlan,
+    SYSTEM_FS_PROFILE,
+)
+
+
+def make_experiment(plan: FaultPlan, hours: float) -> Experiment:
+    return Experiment(
+        ExperimentConfig(
+            profile=SYSTEM_FS_PROFILE.scaled(hours=hours),
+            disk="toshiba",
+            seed=1993,
+            num_rearranged=64,
+            faults=plan,
+        )
+    )
+
+
+def main() -> None:
+    hours = float(sys.argv[1]) if len(sys.argv) > 1 else 0.2
+
+    print("1. Crash the machine after 40 of tonight's 64 block copies.")
+    plan = FaultPlan(seed=7, crash_after_copies=(40,))
+    experiment = make_experiment(plan, hours)
+    experiment.run_day(rearranged=False, rearrange_tomorrow=True)
+    driver = experiment.driver
+    entries = driver.block_table.entries()
+    print(
+        f"   crash survived: {experiment.controller.crash_recoveries} "
+        f"recovery, {len(entries)} of 64 entries survive (the copies that "
+        "completed), remaining moves abandoned"
+    )
+    print(
+        f"   every surviving entry dirty: "
+        f"{all(entry.dirty for entry in entries)}"
+    )
+    BlockTableInvariants(driver.label).check_recovery(driver.block_table)
+    print("   invariant checker: recovered table matches the on-disk copy")
+
+    print("\n2. The partially rearranged disk still serves the next day.")
+    day = experiment.run_day(rearranged=True, rearrange_tomorrow=False)
+    print(
+        f"   {day.metrics.all.requests} requests, mean seek "
+        f"{day.metrics.all.mean_seek_time_ms:.2f} ms (partial arrangement "
+        "still beats none)"
+    )
+
+    print("\n3. A daytime crash: lost requests are resubmitted by clients.")
+    plan = FaultPlan(seed=7, crash_times=((0, 60_000.0),))
+    experiment = make_experiment(plan, hours)
+    day = experiment.run_day(rearranged=False, rearrange_tomorrow=False)
+    stats = experiment.driver.fault_stats
+    print(
+        f"   crashes={stats.crashes} recoveries={stats.recoveries}; "
+        f"all {day.metrics.all.requests} requests completed"
+    )
+
+    print("\n4. Health monitor: a noisy disk degrades the nightly cycle.")
+    plan = FaultPlan(
+        seed=7,
+        transient_rate=0.2,
+        max_retries=2,
+        degrade_threshold=0.05,
+        degrade_action="skip",
+    )
+    experiment = make_experiment(plan, hours)
+    experiment.run_day(rearranged=False, rearrange_tomorrow=True)
+    controller = experiment.controller
+    print(
+        f"   degraded nights: {controller.degraded_days} (error rate over "
+        "5% threshold, rearrangement skipped on the suspect device)"
+    )
+
+    print("\nCrash recovery kept every update; degradation kept the disk sane.")
+
+
+if __name__ == "__main__":
+    main()

@@ -37,6 +37,9 @@ Subpackages
 ``repro.workload``
     Calibrated synthetic workloads for the paper's *system* and *users*
     file systems, with multi-day drift.
+``repro.faults``
+    Deterministic fault injection: transient/media errors, scheduled
+    crashes, and the block-table invariant checker.
 ``repro.sim``
     Discrete-event engine and the day-by-day experiment campaigns.
 ``repro.stats``
@@ -72,6 +75,13 @@ from .driver import (
     ScanQueue,
     make_queue,
 )
+from .faults import (
+    BlockTableInvariants,
+    FaultInjector,
+    FaultPlan,
+    SimulatedCrash,
+    parse_fault_spec,
+)
 from .fs import BufferCache, FileSystem
 from .sim import (
     CampaignResult,
@@ -97,6 +107,7 @@ __all__ = [
     "AdaptiveDiskDriver",
     "BlockArranger",
     "BlockTable",
+    "BlockTableInvariants",
     "BufferCache",
     "CampaignResult",
     "DayMetrics",
@@ -108,6 +119,8 @@ __all__ = [
     "Experiment",
     "ExperimentConfig",
     "FUJITSU_M2266",
+    "FaultInjector",
+    "FaultPlan",
     "FileSystem",
     "HotBlock",
     "HotBlockList",
@@ -120,6 +133,7 @@ __all__ = [
     "SYSTEM_FS_PROFILE",
     "ScanQueue",
     "SerialPlacement",
+    "SimulatedCrash",
     "Simulation",
     "TOSHIBA_MK156F",
     "USERS_FS_PROFILE",
@@ -128,6 +142,7 @@ __all__ = [
     "disk_model",
     "make_policy",
     "make_queue",
+    "parse_fault_spec",
     "run_block_count_sweep",
     "run_campaign",
     "run_onoff_campaign",

@@ -33,6 +33,7 @@ from .disk.models import disk_model
 from .driver.driver import AdaptiveDiskDriver
 from .driver.ioctl import IoctlInterface
 from .driver.queue import make_queue
+from .faults.spec import FaultSpecError, parse_fault_spec
 from .obs import NULL_TRACER, JsonlTraceWriter, replay_day_metrics
 from .sim.engine import Simulation
 from .sim.experiment import (
@@ -66,13 +67,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="length of a measurement day (default: the profile's 15h)",
     )
     parser.add_argument("--seed", type=int, default=1993)
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="deterministic fault injection, e.g. "
+        "'seed=7,transient=0.001,retries=3,crash=copy100,crash=day1@2h' "
+        "(grammar in docs/faults.md)",
+    )
 
 
 def _config(args) -> ExperimentConfig:
     profile = PROFILES[args.profile]
     if args.hours is not None:
         profile = profile.scaled(hours=args.hours)
-    return ExperimentConfig(profile=profile, disk=args.disk, seed=args.seed)
+    faults = None
+    if getattr(args, "faults", None):
+        try:
+            faults = parse_fault_spec(args.faults)
+        except FaultSpecError as exc:
+            raise SystemExit(f"bad --faults spec: {exc}")
+    return ExperimentConfig(
+        profile=profile, disk=args.disk, seed=args.seed, faults=faults
+    )
 
 
 def cmd_onoff(args) -> int:
@@ -212,7 +227,7 @@ def cmd_trace(args) -> int:
         return disk_model(models.get(device, args.disk)).seek
 
     # Peek at the devices first so each gets its own geometry's seek model.
-    from .obs import replay_monitors
+    from .obs import TraceScanStats, replay_monitors
 
     try:
         devices = sorted(replay_monitors(args.jsonl))
@@ -221,12 +236,14 @@ def cmd_trace(args) -> int:
     if not devices:
         print("no request events in trace")
         return 1
+    scan = TraceScanStats()
     try:
         per_device = replay_day_metrics(
             args.jsonl,
             {device: seek_model_for(device) for device in devices},
             day=args.day,
             rearranged=args.rearranged,
+            stats=scan,
         )
     except ValueError as exc:
         raise SystemExit(
@@ -236,6 +253,13 @@ def cmd_trace(args) -> int:
         )
     for device in devices:
         print(render_day(per_device[device], device))
+    if scan.malformed_lines:
+        print(
+            f"warning: skipped {scan.malformed_lines} malformed line(s) "
+            f"(last at line {scan.last_malformed_lineno}) — trace tail "
+            "may have been truncated by a crash",
+            file=sys.stderr,
+        )
     return 0
 
 

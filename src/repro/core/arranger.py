@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..driver.errors import DeviceTimeout, MediaError
 from ..driver.ioctl import IoctlInterface
 from .hotlist import HotBlockList
 from .placement import (
@@ -50,6 +51,10 @@ class BlockArranger:
     threshold trades coverage for fewer pointless moves (see the
     analyzer-size ablation benchmark)."""
 
+    last_skipped: int = 0
+    """Placements skipped by the most recent :meth:`execute` because
+    their copy-in hit an unrecoverable device error."""
+
     def plan(
         self, hot_list: HotBlockList, num_blocks: int
     ) -> RearrangementPlan:
@@ -75,13 +80,22 @@ class BlockArranger:
 
         Returns the time at which the rearrangement finished.  Issues one
         ``DKIOCCLEAN`` followed by one ``DKIOCBCOPY`` per placement, as the
-        paper's nightly cycle does.
+        paper's nightly cycle does.  A placement whose copy-in hits an
+        unrecoverable device error is skipped — the home copy stays
+        authoritative and the cycle moves on to the next hot block.
         """
         clock = self.ioctl.clean(now_ms)
+        self.last_skipped = 0
         for placement in plan.placements:
-            clock = self.ioctl.bcopy(
-                placement.logical_block, placement.reserved_block, clock
-            )
+            try:
+                clock = self.ioctl.bcopy(
+                    placement.logical_block, placement.reserved_block, clock
+                )
+            except (MediaError, DeviceTimeout) as exc:
+                if exc.now_ms is not None:
+                    clock = exc.now_ms
+                self.last_skipped += 1
+                self.ioctl.driver.fault_stats.skipped_moves += 1
         return clock
 
     def rearrange(

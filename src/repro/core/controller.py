@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from ..driver.ioctl import IoctlInterface
+from ..faults.injector import SimulatedCrash
+from ..faults.plan import DEGRADE_ACTIONS
 from ..obs.tracer import NULL_TRACER, Tracer
 from .analyzer import ReferenceStreamAnalyzer
 
@@ -44,9 +46,30 @@ class RearrangementController:
     """Observation hooks for the nightly cycle; adopted from the
     simulation on :meth:`attach_to` unless one was set explicitly."""
 
+    max_error_rate: float | None = None
+    """Health threshold: when the fraction of today's requests that hit a
+    device error exceeds this, tonight's rearrangement is degraded per
+    :attr:`degrade_action` (``None`` disables the health monitor)."""
+
+    degrade_action: str = "clean"
+    """What a degraded night does: ``"clean"`` still empties the reserved
+    area (no new copies onto a suspect device); ``"skip"`` issues no
+    rearrangement I/O at all and leaves yesterday's arrangement in place."""
+
+    degraded_days: int = 0
+    """Nights the health monitor downgraded (for reporting)."""
+
+    crash_recoveries: int = 0
+    """Mid-rearrangement crashes survived via the recovery protocol."""
+
     def __post_init__(self) -> None:
         if self.arranger is None:
             self.arranger = BlockArranger(self.ioctl)
+        if self.degrade_action not in DEGRADE_ACTIONS:
+            raise ValueError(
+                f"degrade_action must be one of {DEGRADE_ACTIONS}, "
+                f"got {self.degrade_action!r}"
+            )
 
     # ------------------------------------------------------------------
     # Daytime monitoring
@@ -85,22 +108,55 @@ class RearrangementController:
         repopulated from today's counts; otherwise it is just cleaned
         (the "off" configuration leaves the reserved region unused).
         Today's counts are reset either way.
+
+        Two robustness paths wrap the paper's cycle.  The health monitor
+        downgrades the night (per :attr:`degrade_action`) when today's
+        device error rate crossed :attr:`max_error_rate` — rearranging
+        onto a disk that is throwing errors only multiplies the damage.
+        And a :class:`SimulatedCrash` between block moves is caught here:
+        the machine goes down mid-cycle and comes back up through the
+        driver's recovery protocol (block table re-read from the reserved
+        area, every surviving entry conservatively dirty); the remaining
+        moves of the night are abandoned.
         """
         self.final_poll()
         assert self.arranger is not None
         device = self.ioctl.device_name
+        driver = self.ioctl.driver
+        degraded = (
+            self.max_error_rate is not None
+            and driver.fault_stats.day_error_rate > self.max_error_rate
+        )
+        if degraded:
+            self.degraded_days += 1
+            rearrange_tomorrow = False
         self.tracer.rearrangement_begin(
             device, now_ms, num_blocks if rearrange_tomorrow else 0
         )
-        if rearrange_tomorrow:
-            plan, finish = self.arranger.rearrange(
-                self.hot_list(), num_blocks, now_ms
-            )
-            self.last_plan = plan
-        else:
-            finish = self.ioctl.clean(now_ms)
+        injector = getattr(driver, "faults", None)
+        if injector is not None:
+            injector.begin_rearrangement_cycle()
+        try:
+            if rearrange_tomorrow:
+                plan, finish = self.arranger.rearrange(
+                    self.hot_list(), num_blocks, now_ms
+                )
+                self.last_plan = plan
+            elif degraded and self.degrade_action == "skip":
+                finish = now_ms  # no rearrangement I/O at all
+                self.last_plan = None
+            else:
+                finish = self.ioctl.clean(now_ms)
+                self.last_plan = None
+        except SimulatedCrash as crash:
+            # The nightly cycle runs on a drained queue, so the only
+            # volatile state lost is the block table's in-memory copy.
+            driver.crash(crash.now_ms)
+            finish = driver.recover(crash.now_ms)
             self.last_plan = None
+            self.crash_recoveries += 1
         moved = len(self.last_plan) if self.last_plan is not None else 0
         self.tracer.rearrangement_end(device, finish, moved)
         self.analyzer.reset()
+        driver.fault_stats.start_new_day()
         return finish

@@ -7,10 +7,18 @@ splitting — Section 4.1 of the paper, in simulation form.
 """
 
 from .blocktable import BlockTable, BlockTableEntry
-from .driver import AdaptiveDiskDriver, DriverError, RearrangementIOCounter
+from .driver import AdaptiveDiskDriver, RearrangementIOCounter
+from .errors import (
+    BadAddressError,
+    BusyError,
+    DeviceTimeout,
+    DriverError,
+    MediaError,
+)
 from .ioctl import IoctlCommand, IoctlInterface, ReservedAreaInfo
 from .monitor import (
     ClassStats,
+    FaultStats,
     PerformanceMonitor,
     RequestMonitor,
     RequestRecord,
@@ -30,15 +38,20 @@ from .request import DiskRequest, Op, read_request, write_request
 
 __all__ = [
     "AdaptiveDiskDriver",
+    "BadAddressError",
     "BlockTable",
     "BlockTableEntry",
+    "BusyError",
     "CScanQueue",
     "ClassStats",
     "DeviceDriver",
+    "DeviceTimeout",
     "DiskQueue",
     "DiskRequest",
     "DriverError",
     "FCFSQueue",
+    "FaultStats",
+    "MediaError",
     "IoctlCommand",
     "IoctlInterface",
     "Op",

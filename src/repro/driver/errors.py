@@ -1,0 +1,50 @@
+"""The driver's error taxonomy.
+
+:class:`DriverError` remains the catch-all base (existing callers that
+``except DriverError`` keep working); the subclasses distinguish the
+conditions a robust caller handles differently:
+
+* :class:`BadAddressError` — a block address outside the device or the
+  operation's legal region (the ``EINVAL``/``ENXIO`` class);
+* :class:`BusyError` — an entry point that requires an idle device was
+  called while an operation was in flight (``EBUSY``);
+* :class:`MediaError` — a permanent, unrecoverable error pinned to one
+  physical block (``EIO`` after the drive gave up);
+* :class:`DeviceTimeout` — a transient device error that survived the
+  driver's bounded retries (the SCSI timeout class).
+
+``MediaError`` and ``DeviceTimeout`` carry the simulation clock at the
+moment the final attempt finished (``now_ms``), because every attempt —
+including the failed ones — costs real disk time that the caller must
+account for when it continues.
+"""
+
+from __future__ import annotations
+
+
+class DriverError(Exception):
+    """Raised on misuse of the driver (bad addresses, busy conflicts...)."""
+
+
+class BadAddressError(DriverError):
+    """A block address outside the device or the operation's legal region."""
+
+
+class BusyError(DriverError):
+    """The entry point requires an idle device, but one is in flight."""
+
+
+class FaultedIOError(DriverError):
+    """Base of the injected-hardware-fault errors; carries the clock."""
+
+    def __init__(self, message: str, now_ms: float | None = None) -> None:
+        super().__init__(message)
+        self.now_ms = now_ms
+
+
+class MediaError(FaultedIOError):
+    """A permanent media error at one physical block."""
+
+
+class DeviceTimeout(FaultedIOError):
+    """A transient device error that exhausted the bounded retries."""

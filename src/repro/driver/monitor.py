@@ -87,6 +87,54 @@ class ClassStats:
     transfer: TimeHistogram = field(default_factory=TimeHistogram)
     requests: int = 0
     buffer_hits: int = 0
+    errors: int = 0
+    """Injected device errors (transient or media) hit while serving."""
+    retries: int = 0
+    """Bounded retry attempts issued after transient errors."""
+
+
+@dataclass
+class FaultStats:
+    """Driver-level fault and recovery accounting (one per device).
+
+    Cumulative counters, plus a day window (``day_requests`` /
+    ``day_errors``) with read-and-reset semantics used by the
+    rearrangement controller's health check.  The counters are only
+    touched on fault paths, so a fault-free run never writes them.
+    """
+
+    transient_faults: int = 0
+    media_faults: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    failed_requests: int = 0
+    fallback_serves: int = 0
+    """Redirected accesses served from the block's original home after a
+    media error destroyed its reserved-area copy."""
+    evictions: int = 0
+    """Block-table entries dropped because their reserved slot went bad."""
+    skipped_moves: int = 0
+    """Nightly block moves abandoned after an unrecoverable error."""
+    crashes: int = 0
+    recoveries: int = 0
+    day_requests: int = 0
+    day_errors: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return self.transient_faults + self.media_faults
+
+    @property
+    def day_error_rate(self) -> float:
+        """Errors per request over the current day window."""
+        if self.day_requests == 0:
+            return 0.0
+        return self.day_errors / self.day_requests
+
+    def start_new_day(self) -> None:
+        """Reset the day window (the controller's end-of-day read)."""
+        self.day_requests = 0
+        self.day_errors = 0
 
 
 @dataclass
@@ -137,6 +185,16 @@ class PerformanceMonitor:
                 stats.transfer.record(request.transfer_ms)
             if request.buffer_hit:
                 stats.buffer_hits += 1
+
+    def note_fault(self, is_read: bool) -> None:
+        """Count one injected device error against the request classes."""
+        for scope in self._scopes(is_read):
+            self._classes[scope].errors += 1
+
+    def note_retry(self, is_read: bool) -> None:
+        """Count one bounded retry attempt against the request classes."""
+        for scope in self._scopes(is_read):
+            self._classes[scope].retries += 1
 
     def stats(self, scope: str = "all") -> ClassStats:
         """Statistics for ``"all"``, ``"read"`` or ``"write"`` requests."""

@@ -62,6 +62,10 @@ class DiskRequest:
     rotation_ms: float | None = None
     transfer_ms: float | None = None
     buffer_hit: bool = False
+    failed: bool = False
+    """The request was returned with an unrecoverable device error (a
+    permanent media error, or a transient error that exhausted the
+    driver's bounded retries)."""
 
     @property
     def is_read(self) -> bool:

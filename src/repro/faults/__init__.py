@@ -1,0 +1,36 @@
+"""Fault injection: deterministic hardware misbehaviour for the simulator.
+
+The paper's system ran on a live NFS server and had to survive media
+errors, SCSI timeouts, and crashes in the middle of a nightly
+rearrangement (Section 4.1.2).  This package supplies those conditions
+on demand:
+
+* :class:`FaultPlan` — frozen, seeded configuration (what goes wrong);
+* :class:`FaultInjector` — the runtime the driver consults per access;
+* :func:`parse_fault_spec` — the CLI ``--faults`` grammar;
+* :class:`BlockTableInvariants` — the checker that proves recovery lost
+  nothing;
+* :class:`SimulatedCrash` — raised at a crash point, caught by whichever
+  layer owns the interrupted activity.
+
+With no plan attached the rest of the system pays nothing: the driver's
+fault hook is a single ``is None`` test.
+"""
+
+from .injector import MEDIA, TRANSIENT, FaultInjector, SimulatedCrash
+from .invariants import BlockTableInvariants, InvariantViolation
+from .plan import DEGRADE_ACTIONS, FaultPlan
+from .spec import FaultSpecError, parse_fault_spec
+
+__all__ = [
+    "BlockTableInvariants",
+    "DEGRADE_ACTIONS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpecError",
+    "InvariantViolation",
+    "MEDIA",
+    "SimulatedCrash",
+    "TRANSIENT",
+    "parse_fault_spec",
+]

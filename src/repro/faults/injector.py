@@ -1,0 +1,150 @@
+"""The fault injector: deterministic, seeded hardware misbehaviour.
+
+A :class:`FaultInjector` is the runtime companion of a
+:class:`~repro.faults.plan.FaultPlan`.  The plan is frozen configuration;
+the injector owns the mutable state — the seeded RNG, the set of pinned
+media errors, the not-yet-fired crash schedule, and the per-run copy
+counter used by mid-rearrangement crashes.  Drivers consult the injector
+on every constituent disk access; with no injector attached the fault
+machinery costs nothing (the driver's hot path checks one attribute
+against ``None``).
+
+Determinism: the transient-fault stream is drawn from one
+``random.Random(seed)`` consumed exactly once per faultable access, and
+everything else (media pins, crash schedule) is explicit — so the same
+plan against the same workload injects the identical fault sequence,
+which is what makes faulty campaigns replayable and comparable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..disk.label import DiskLabel
+    from .plan import FaultPlan
+
+TRANSIENT = "transient"
+"""A retryable device error (the SCSI timeout / bus-reset class)."""
+
+MEDIA = "media"
+"""A permanent media error pinned to one physical block."""
+
+
+class SimulatedCrash(Exception):
+    """The machine crashed at ``now_ms`` (power failure / panic).
+
+    Raised by the injector from within a driver entry point; the layer
+    that owns the current activity (the rearrangement controller for the
+    nightly cycle, the simulation engine for scheduled daytime crashes)
+    catches it and replays the paper's recovery protocol.
+    """
+
+    def __init__(self, now_ms: float, reason: str = "scheduled crash") -> None:
+        super().__init__(f"{reason} at {now_ms:.3f} ms")
+        self.now_ms = now_ms
+        self.reason = reason
+
+
+class FaultInjector:
+    """Mutable fault-injection state for one run of one plan."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        plan.validate()
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.media_blocks: set[int] = set(plan.media_blocks)
+        self.injected_transient = 0
+        self.injected_media = 0
+        self.fired_crashes = 0
+        self._pending_timed: list[tuple[int, float]] = sorted(plan.crash_times)
+        self._pending_copy: list[int] = sorted(plan.crash_after_copies)
+        self._moves_this_cycle = 0
+        self._bound = False
+
+    # ------------------------------------------------------------------
+    # Binding to a device
+    # ------------------------------------------------------------------
+
+    @property
+    def max_retries(self) -> int:
+        return self.plan.max_retries
+
+    def bind_label(self, label: DiskLabel) -> None:
+        """Resolve label-dependent configuration.
+
+        ``random_media`` picks that many reserved-area data blocks (from a
+        dedicated RNG stream, so the transient draw sequence is
+        unaffected) — the blocks where rearranged data lives, which is
+        what exercises the driver's fallback-to-home path.  Block-table
+        home blocks are never pinned: a media error under the table copy
+        is unrecoverable by design and outside the paper's fault model.
+        """
+        if self._bound:
+            return
+        self._bound = True
+        if self.plan.random_media and label.is_rearranged:
+            picker = random.Random(f"{self.plan.seed}-media")
+            candidates = label.reserved_data_blocks()
+            count = min(self.plan.random_media, len(candidates))
+            self.media_blocks.update(picker.sample(candidates, count))
+        self.media_blocks.difference_update(label.block_table_home_blocks())
+
+    # ------------------------------------------------------------------
+    # Per-access draws
+    # ------------------------------------------------------------------
+
+    def draw(self, block: int, is_read: bool, now_ms: float) -> str | None:
+        """Fault affecting one disk access, or ``None`` for success.
+
+        Media pins are checked first (they are deterministic properties of
+        the medium); the transient stream consumes one RNG draw per
+        access only when a transient rate is configured.
+        """
+        if block in self.media_blocks:
+            self.injected_media += 1
+            return MEDIA
+        rate = self.plan.transient_rate
+        if rate > 0.0 and self.rng.random() < rate:
+            self.injected_transient += 1
+            return TRANSIENT
+        return None
+
+    # ------------------------------------------------------------------
+    # Crash schedule
+    # ------------------------------------------------------------------
+
+    def claim_crash_times(self, day: int) -> list[float]:
+        """Timed crashes scheduled for measurement day ``day``.
+
+        Returned offsets (ms from the day's start) are marked fired: each
+        scheduled crash happens exactly once.
+        """
+        due = [t for d, t in self._pending_timed if d == day]
+        self._pending_timed = [
+            (d, t) for d, t in self._pending_timed if d != day
+        ]
+        self.fired_crashes += len(due)
+        return due
+
+    def begin_rearrangement_cycle(self) -> None:
+        """Reset the block-move counter at the start of a nightly cycle."""
+        self._moves_this_cycle = 0
+
+    def check_move_crash(self, now_ms: float) -> None:
+        """Crash point between two block moves of the nightly cycle.
+
+        Called by the driver at the start of every ``DKIOCBCOPY`` and of
+        every per-entry ``DKIOCCLEAN`` step; raises
+        :class:`SimulatedCrash` when a ``crash=copyK`` entry is due.
+        """
+        if self._pending_copy and self._moves_this_cycle >= self._pending_copy[0]:
+            after = self._pending_copy.pop(0)
+            self.fired_crashes += 1
+            raise SimulatedCrash(
+                now_ms, f"crash after {after} block moves"
+            )
+
+    def note_move_done(self) -> None:
+        self._moves_this_cycle += 1

@@ -1,0 +1,127 @@
+"""Block-table invariants: what crash recovery must never break.
+
+Section 4.1.2's argument for correctness rests on a handful of
+structural properties of the block table.  :class:`BlockTableInvariants`
+checks them mechanically so that fault-injection tests (and the driver's
+own post-recovery sanity pass) can *prove* a crash lost nothing instead
+of asserting it:
+
+* **bijectivity** — no two entries share a reserved slot, and the
+  reverse map agrees with the forward map entry by entry;
+* **containment** — every reserved slot lies in the reserved area's data
+  region, never under the on-disk block-table copy, and every original
+  block lies outside the reserved area;
+* **capacity** — the table never exceeds the reserved area's capacity;
+* **recovery** — after a crash, the rebuilt table lists exactly the
+  mappings of the on-disk copy with every entry conservatively dirty
+  (the property that guarantees updates to repositioned blocks are not
+  lost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..disk.label import DiskLabel
+from ..driver.blocktable import BlockTable
+
+
+class InvariantViolation(Exception):
+    """A block-table structural invariant does not hold."""
+
+
+@dataclass
+class BlockTableInvariants:
+    """Checker for one device's block table (label optional)."""
+
+    label: DiskLabel | None = None
+
+    def check(self, table: BlockTable) -> None:
+        """Verify the structural invariants; raise on the first violation."""
+        entries = table.entries()
+        seen_reserved: dict[int, int] = {}
+        seen_original: set[int] = set()
+        for entry in entries:
+            if entry.original_block in seen_original:
+                raise InvariantViolation(
+                    f"block {entry.original_block} appears in two entries"
+                )
+            seen_original.add(entry.original_block)
+            if entry.reserved_block in seen_reserved:
+                raise InvariantViolation(
+                    f"reserved slot {entry.reserved_block} is shared by "
+                    f"blocks {seen_reserved[entry.reserved_block]} and "
+                    f"{entry.original_block}"
+                )
+            seen_reserved[entry.reserved_block] = entry.original_block
+            if table.original_of(entry.reserved_block) != entry.original_block:
+                raise InvariantViolation(
+                    f"reverse map disagrees for reserved slot "
+                    f"{entry.reserved_block}"
+                )
+            if table.lookup(entry.original_block) is not entry:
+                raise InvariantViolation(
+                    f"forward map disagrees for block {entry.original_block}"
+                )
+        if table.occupied_reserved_blocks() != set(seen_reserved):
+            raise InvariantViolation(
+                "occupied reserved set disagrees with the entries"
+            )
+        if table.capacity is not None and len(entries) > table.capacity:
+            raise InvariantViolation(
+                f"table holds {len(entries)} entries, capacity is "
+                f"{table.capacity}"
+            )
+        if self.label is not None and self.label.is_rearranged:
+            data_blocks = set(self.label.reserved_data_blocks())
+            table_homes = set(self.label.block_table_home_blocks())
+            for entry in entries:
+                if entry.reserved_block in table_homes:
+                    raise InvariantViolation(
+                        f"reserved slot {entry.reserved_block} overlaps the "
+                        "on-disk block-table copy"
+                    )
+                if entry.reserved_block not in data_blocks:
+                    raise InvariantViolation(
+                        f"reserved slot {entry.reserved_block} lies outside "
+                        "the reserved data region"
+                    )
+                if entry.original_block in data_blocks or (
+                    entry.original_block in table_homes
+                ):
+                    raise InvariantViolation(
+                        f"original block {entry.original_block} lies inside "
+                        "the reserved area"
+                    )
+
+    def check_recovery(self, table: BlockTable) -> None:
+        """Verify the post-crash state: structure plus the all-dirty rule.
+
+        The recovered table must list exactly the mappings of the on-disk
+        copy, with every entry marked dirty regardless of the stored bits
+        — the conservative strategy that ensures no update to a
+        repositioned block is ever lost.
+        """
+        self.check(table)
+        disk_copy = table.disk_copy()
+        mappings = {
+            entry.original_block: entry.reserved_block
+            for entry in table.entries()
+        }
+        disk_mappings = {
+            original: reserved
+            for original, (reserved, __) in disk_copy.items()
+        }
+        if mappings != disk_mappings:
+            missing = set(disk_mappings) - set(mappings)
+            extra = set(mappings) - set(disk_mappings)
+            raise InvariantViolation(
+                "recovered table does not match the on-disk copy "
+                f"(missing {sorted(missing)}, extra {sorted(extra)})"
+            )
+        for entry in table.entries():
+            if not entry.dirty:
+                raise InvariantViolation(
+                    f"entry for block {entry.original_block} survived "
+                    "recovery clean; every recovered entry must be dirty"
+                )

@@ -1,0 +1,96 @@
+"""Fault plans: frozen, picklable fault-injection configuration.
+
+A :class:`FaultPlan` describes *what* should go wrong — it carries no
+mutable state, so it can ride inside a frozen
+:class:`~repro.sim.experiment.ExperimentConfig`, cross process boundaries
+for parallel campaigns, and be turned into any number of identical
+runtime :class:`~repro.faults.injector.FaultInjector` instances (one per
+run is what makes two runs of the same seed byte-identical).
+
+Three fault classes (Section 4.1.2's failure model, adversarially
+extended):
+
+* **transient** device errors — retryable, drawn per access at
+  ``transient_rate`` from the seeded RNG (the SCSI timeout class);
+* **media** errors — permanent, pinned to specific physical blocks
+  (explicit ``media_blocks`` and/or ``random_media`` seeded picks from
+  the reserved area);
+* **crashes** — scheduled per measurement day (``crash_times``) or
+  between the individual block moves of a nightly rearrangement
+  (``crash_after_copies``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .injector import FaultInjector
+
+DEGRADE_ACTIONS = ("clean", "skip")
+"""What a degraded nightly cycle does: ``clean`` restores the home layout
+and leaves the reserved area empty; ``skip`` touches the flaky disk as
+little as possible and leaves yesterday's arrangement in place."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything that defines a deterministic fault-injection run."""
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    """Per-access probability of a retryable device error."""
+    media_blocks: tuple[int, ...] = ()
+    """Physical blocks that fail permanently, reads and writes alike."""
+    random_media: int = 0
+    """Additionally pin this many seeded-random reserved-area blocks."""
+    crash_times: tuple[tuple[int, float], ...] = ()
+    """Scheduled crashes as ``(day index, offset ms from day start)``."""
+    crash_after_copies: tuple[int, ...] = ()
+    """Crash the machine after this many block moves of a nightly cycle."""
+    max_retries: int = 3
+    """Bounded retries per access before a transient error escalates."""
+    degrade_threshold: float | None = None
+    """Day error rate above which the nightly rearrangement is degraded."""
+    degrade_action: str = "clean"
+    """Degraded-cycle behaviour: one of :data:`DEGRADE_ACTIONS`."""
+
+    def validate(self) -> None:
+        if not 0.0 <= self.transient_rate <= 1.0:
+            raise ValueError(
+                f"transient_rate must be in [0, 1], got {self.transient_rate}"
+            )
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.random_media < 0:
+            raise ValueError("random_media must be non-negative")
+        if self.degrade_action not in DEGRADE_ACTIONS:
+            raise ValueError(
+                f"degrade_action must be one of {DEGRADE_ACTIONS}, "
+                f"got {self.degrade_action!r}"
+            )
+        if self.degrade_threshold is not None and self.degrade_threshold < 0:
+            raise ValueError("degrade_threshold must be non-negative")
+        for day, offset in self.crash_times:
+            if day < 0 or offset < 0:
+                raise ValueError(
+                    f"crash_times entries must be non-negative, "
+                    f"got ({day}, {offset})"
+                )
+        for copies in self.crash_after_copies:
+            if copies < 0:
+                raise ValueError("crash_after_copies must be non-negative")
+
+    def injector(self) -> FaultInjector:
+        """A fresh runtime injector for one run of this plan."""
+        return FaultInjector(self)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan can never inject anything."""
+        return (
+            self.transient_rate == 0.0
+            and not self.media_blocks
+            and not self.random_media
+            and not self.crash_times
+            and not self.crash_after_copies
+        )

@@ -1,0 +1,160 @@
+"""The ``--faults`` spec grammar: one string describes a fault plan.
+
+A spec is a comma-separated list of ``key=value`` entries::
+
+    seed=42,transient=0.002,retries=4,media=1200+7301,crash=copy3
+
+Keys (full grammar in ``docs/faults.md``):
+
+``seed=N``
+    RNG seed for the transient stream and random media picks.
+``transient=P``
+    Per-access probability of a retryable device error.
+``retries=N``
+    Bounded retries before a transient error escalates to a timeout.
+``media=B1+B2+...``
+    Pin permanent media errors to these physical blocks.
+``media=rand:N``
+    Pin N seeded-random reserved-area data blocks instead.
+``crash=copyK``
+    Crash after K block moves of a nightly rearrangement.
+``crash=[dayD@]TIME``
+    Crash at TIME into day D (default day 0).  TIME is milliseconds, or
+    a number suffixed ``s``/``m``/``h``.
+``degrade=R``
+    Day error rate above which the nightly cycle is degraded.
+``degrade-action=clean|skip``
+    What a degraded cycle does (default ``clean``).
+
+Repeated ``crash=`` and ``media=`` entries accumulate.
+"""
+
+from __future__ import annotations
+
+from .plan import DEGRADE_ACTIONS, FaultPlan
+
+_TIME_SUFFIXES = {"s": 1_000.0, "m": 60_000.0, "h": 3_600_000.0}
+
+
+class FaultSpecError(ValueError):
+    """A ``--faults`` spec string that does not parse."""
+
+
+def _parse_time_ms(text: str, entry: str) -> float:
+    scale = 1.0
+    if text and text[-1].lower() in _TIME_SUFFIXES:
+        scale = _TIME_SUFFIXES[text[-1].lower()]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise FaultSpecError(
+            f"bad time {text!r} in {entry!r} (use ms or a number "
+            "suffixed s/m/h)"
+        ) from None
+    return value * scale
+
+
+def _parse_crash(value: str, entry: str) -> tuple[str, object]:
+    if value.startswith("copy"):
+        try:
+            return "copy", int(value[len("copy"):])
+        except ValueError:
+            raise FaultSpecError(
+                f"bad crash point {value!r} in {entry!r} (expected copyK)"
+            ) from None
+    day = 0
+    if value.startswith("day"):
+        day_text, sep, rest = value[len("day"):].partition("@")
+        if not sep:
+            raise FaultSpecError(
+                f"bad crash time {value!r} in {entry!r} "
+                "(expected dayD@TIME)"
+            )
+        try:
+            day = int(day_text)
+        except ValueError:
+            raise FaultSpecError(
+                f"bad day {day_text!r} in {entry!r}"
+            ) from None
+        value = rest
+    return "timed", (day, _parse_time_ms(value, entry))
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse a ``--faults`` spec string into a :class:`FaultPlan`."""
+    seed = 0
+    transient = 0.0
+    retries = 3
+    media: list[int] = []
+    random_media = 0
+    crash_times: list[tuple[int, float]] = []
+    crash_copies: list[int] = []
+    degrade: float | None = None
+    degrade_action = "clean"
+
+    for raw in spec.split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        key, sep, value = entry.partition("=")
+        if not sep or not value:
+            raise FaultSpecError(
+                f"fault spec entries must look like key=value: {entry!r}"
+            )
+        key = key.strip().lower()
+        value = value.strip()
+        try:
+            if key == "seed":
+                seed = int(value)
+            elif key == "transient":
+                transient = float(value)
+            elif key == "retries":
+                retries = int(value)
+            elif key == "media":
+                if value.startswith("rand:"):
+                    random_media += int(value[len("rand:"):])
+                else:
+                    media.extend(int(b) for b in value.split("+"))
+            elif key == "crash":
+                kind, parsed = _parse_crash(value, entry)
+                if kind == "copy":
+                    crash_copies.append(parsed)  # type: ignore[arg-type]
+                else:
+                    crash_times.append(parsed)  # type: ignore[arg-type]
+            elif key == "degrade":
+                degrade = float(value)
+            elif key == "degrade-action":
+                if value not in DEGRADE_ACTIONS:
+                    raise FaultSpecError(
+                        f"degrade-action must be one of "
+                        f"{'/'.join(DEGRADE_ACTIONS)}, got {value!r}"
+                    )
+                degrade_action = value
+            else:
+                raise FaultSpecError(
+                    f"unknown fault spec key {key!r} in {entry!r}"
+                )
+        except FaultSpecError:
+            raise
+        except ValueError:
+            raise FaultSpecError(
+                f"bad value {value!r} for {key!r} in {entry!r}"
+            ) from None
+
+    plan = FaultPlan(
+        seed=seed,
+        transient_rate=transient,
+        media_blocks=tuple(media),
+        random_media=random_media,
+        crash_times=tuple(crash_times),
+        crash_after_copies=tuple(crash_copies),
+        max_retries=retries,
+        degrade_threshold=degrade,
+        degrade_action=degrade_action,
+    )
+    try:
+        plan.validate()
+    except ValueError as exc:
+        raise FaultSpecError(str(exc)) from None
+    return plan

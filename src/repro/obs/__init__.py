@@ -10,6 +10,7 @@ live run produced.
 
 from .jsonl import (
     JsonlTraceWriter,
+    TraceScanStats,
     iter_trace,
     replay_day_metrics,
     replay_monitors,
@@ -24,6 +25,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "Tracer",
+    "TraceScanStats",
     "iter_trace",
     "replay_day_metrics",
     "replay_monitors",

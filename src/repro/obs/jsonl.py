@@ -21,11 +21,22 @@ Line shapes (``event`` discriminates)::
      "buffer_hit": ...}
     {"event": "rearrangement-begin"|"rearrangement-end", "device": ...,
      "t": ..., "blocks": ...}
+    {"event": "fault-injected", "device": ..., "t": ..., "block": ...,
+     "kind": "transient"|"media", "op": "read"|"write"}
+    {"event": "retry", "device": ..., "t": ..., "block": ...,
+     "attempt": ..., "op": "read"|"write"}
+    {"event": "recovery-begin"|"recovery-end", "device": ..., "t": ...,
+     "entries": ...}
+
+Reading is tolerant of damage the fault model itself motivates: a crash
+mid-write leaves a truncated (or otherwise malformed) trailing line, which
+:func:`iter_trace` skips and counts rather than refusing the whole trace.
 """
 
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
 from typing import IO, TYPE_CHECKING, Iterator, Mapping
 
@@ -136,6 +147,50 @@ class JsonlTraceWriter(Tracer):
             }
         )
 
+    def fault_injected(self, device, now_ms, block, kind, is_read):
+        self._emit(
+            {
+                "event": "fault-injected",
+                "device": device,
+                "t": now_ms,
+                "block": block,
+                "kind": kind,
+                "op": "read" if is_read else "write",
+            }
+        )
+
+    def retry(self, device, now_ms, block, attempt, is_read):
+        self._emit(
+            {
+                "event": "retry",
+                "device": device,
+                "t": now_ms,
+                "block": block,
+                "attempt": attempt,
+                "op": "read" if is_read else "write",
+            }
+        )
+
+    def recovery_begin(self, device, now_ms, disk_entries):
+        self._emit(
+            {
+                "event": "recovery-begin",
+                "device": device,
+                "t": now_ms,
+                "entries": disk_entries,
+            }
+        )
+
+    def recovery_end(self, device, now_ms, recovered_entries):
+        self._emit(
+            {
+                "event": "recovery-end",
+                "device": device,
+                "t": now_ms,
+                "entries": recovered_entries,
+            }
+        )
+
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
@@ -150,25 +205,59 @@ class JsonlTraceWriter(Tracer):
         self.close()
 
 
-def iter_trace(path: str | Path) -> Iterator[dict]:
-    """Yield trace records from a JSONL file, skipping blank lines."""
+@dataclass
+class TraceScanStats:
+    """What :func:`iter_trace` skipped while scanning one file.
+
+    Pass an instance in to collect the counts; a nonzero
+    ``malformed_lines`` most commonly means the writer died mid-line
+    (e.g. a simulated crash during a traced run truncated the tail).
+    """
+
+    malformed_lines: int = 0
+    last_malformed_lineno: int | None = None
+
+
+def iter_trace(
+    path: str | Path, stats: TraceScanStats | None = None
+) -> Iterator[dict]:
+    """Yield trace records from a JSONL file, skipping blank lines.
+
+    Malformed lines — truncated JSON, stray garbage, or a non-object
+    payload — are skipped and counted in ``stats`` instead of aborting
+    the scan, so a trace whose tail was lost to a crash still replays.
+    """
     with open(path, "r", encoding="utf-8") as stream:
-        for line in stream:
+        for lineno, line in enumerate(stream, start=1):
             line = line.strip()
-            if line:
-                yield json.loads(line)
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                record = None
+            if not isinstance(record, dict):
+                if stats is not None:
+                    stats.malformed_lines += 1
+                    stats.last_malformed_lineno = lineno
+                continue
+            yield record
 
 
-def replay_monitors(path: str | Path) -> dict[str, PerformanceMonitor]:
+def replay_monitors(
+    path: str | Path, stats: TraceScanStats | None = None
+) -> dict[str, PerformanceMonitor]:
     """Re-drive per-device performance monitors from a JSONL trace.
 
     ``request-enqueued`` records feed arrivals (in their original strategy
     order, which the arrival-order/FCFS seek distribution depends on) and
     ``service-complete`` records feed completions, so the reconstructed
-    tables match the live driver's bit for bit.
+    tables match the live driver's bit for bit.  ``fault-injected`` and
+    ``retry`` records feed the per-class error/retry counters the same
+    way, so faulty runs replay to identical metrics too.
     """
     monitors: dict[str, PerformanceMonitor] = {}
-    for record in iter_trace(path):
+    for record in iter_trace(path, stats):
         device = record["device"]
         kind = record["event"]
         if kind == "request-enqueued":
@@ -197,6 +286,14 @@ def replay_monitors(path: str | Path) -> dict[str, PerformanceMonitor]:
             monitors.setdefault(device, PerformanceMonitor()).note_completion(
                 request
             )
+        elif kind == "fault-injected":
+            monitors.setdefault(device, PerformanceMonitor()).note_fault(
+                record["op"] == "read"
+            )
+        elif kind == "retry":
+            monitors.setdefault(device, PerformanceMonitor()).note_retry(
+                record["op"] == "read"
+            )
     return monitors
 
 
@@ -205,6 +302,7 @@ def replay_day_metrics(
     seek_model: SeekModel | Mapping[str, SeekModel],
     day: int = 0,
     rearranged: bool = False,
+    stats: TraceScanStats | None = None,
 ) -> dict[str, DayMetrics]:
     """Replay a JSONL trace into per-device :class:`DayMetrics`.
 
@@ -217,7 +315,7 @@ def replay_day_metrics(
         seek_model if isinstance(seek_model, Mapping) else None
     )
     metrics: dict[str, DayMetrics] = {}
-    for device, monitor in replay_monitors(path).items():
+    for device, monitor in replay_monitors(path, stats).items():
         model = models[device] if models is not None else seek_model
         metrics[device] = DayMetrics.from_tables(
             monitor.read_and_clear(), model, day=day, rearranged=rearranged

@@ -59,6 +59,20 @@ class MetricsTracer(Tracer):
         self.event_counts[(device, "rearrangement-end")] += 1
         self.rearranged_blocks[device] += moved_blocks
 
+    def fault_injected(self, device, now_ms, block, kind, is_read):
+        self.event_counts[(device, "fault-injected")] += 1
+        self._monitor(device).note_fault(is_read)
+
+    def retry(self, device, now_ms, block, attempt, is_read):
+        self.event_counts[(device, "retry")] += 1
+        self._monitor(device).note_retry(is_read)
+
+    def recovery_begin(self, device, now_ms, disk_entries):
+        self.event_counts[(device, "recovery-begin")] += 1
+
+    def recovery_end(self, device, now_ms, recovered_entries):
+        self.event_counts[(device, "recovery-end")] += 1
+
     # -- reductions ------------------------------------------------------
 
     @property

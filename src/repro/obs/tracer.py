@@ -72,6 +72,39 @@ class Tracer:
     ) -> None:
         """The nightly cycle finished after moving ``moved_blocks``."""
 
+    def fault_injected(
+        self,
+        device: str,
+        now_ms: float,
+        block: int,
+        kind: str,
+        is_read: bool,
+    ) -> None:
+        """The injector faulted an access to ``block`` (``kind`` is
+        ``"transient"`` or ``"media"``)."""
+
+    def retry(
+        self,
+        device: str,
+        now_ms: float,
+        block: int,
+        attempt: int,
+        is_read: bool,
+    ) -> None:
+        """The driver started bounded retry ``attempt`` for ``block``."""
+
+    def recovery_begin(
+        self, device: str, now_ms: float, disk_entries: int
+    ) -> None:
+        """Post-crash recovery started (``disk_entries`` in the on-disk
+        block-table copy about to be re-read)."""
+
+    def recovery_end(
+        self, device: str, now_ms: float, recovered_entries: int
+    ) -> None:
+        """Recovery finished with ``recovered_entries`` rebuilt, all
+        conservatively dirty."""
+
     def close(self) -> None:
         """Release any resources (files, sockets).  Default: nothing."""
 
@@ -111,6 +144,22 @@ class MulticastTracer(Tracer):
     def rearrangement_end(self, device, now_ms, moved_blocks):
         for tracer in self.tracers:
             tracer.rearrangement_end(device, now_ms, moved_blocks)
+
+    def fault_injected(self, device, now_ms, block, kind, is_read):
+        for tracer in self.tracers:
+            tracer.fault_injected(device, now_ms, block, kind, is_read)
+
+    def retry(self, device, now_ms, block, attempt, is_read):
+        for tracer in self.tracers:
+            tracer.retry(device, now_ms, block, attempt, is_read)
+
+    def recovery_begin(self, device, now_ms, disk_entries):
+        for tracer in self.tracers:
+            tracer.recovery_begin(device, now_ms, disk_entries)
+
+    def recovery_end(self, device, now_ms, recovered_entries):
+        for tracer in self.tracers:
+            tracer.recovery_end(device, now_ms, recovered_entries)
 
     def close(self):
         for tracer in self.tracers:

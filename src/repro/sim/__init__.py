@@ -14,6 +14,7 @@ from .events import (
     EventBus,
     EventQueue,
     JobStart,
+    MachineCrash,
     PeriodicFire,
     SimEvent,
     StepIssue,
@@ -75,6 +76,7 @@ __all__ = [
     "FileSystemSpec",
     "Job",
     "JobStart",
+    "MachineCrash",
     "MultiDiskDayResult",
     "MultiDiskExperiment",
     "MultiFSDayResult",

@@ -30,6 +30,7 @@ from .events import (
     EventBus,
     EventQueue,
     JobStart,
+    MachineCrash,
     PeriodicFire,
     StepIssue,
 )
@@ -59,6 +60,9 @@ class DeviceState:
     outstanding: int = 0
     completion_scheduled: bool = False
     completed: list[DiskRequest] = field(default_factory=list)
+    epoch: int = 0
+    """Crash epoch: bumped when the device loses its in-flight state, so
+    stale completion events already in the heap are discarded."""
 
 
 class Simulation:
@@ -89,6 +93,7 @@ class Simulation:
         self.bus.subscribe(StepIssue, self._on_step_issue)
         self.bus.subscribe(DeviceComplete, self._on_device_complete)
         self.bus.subscribe(PeriodicFire, self._on_periodic_fire)
+        self.bus.subscribe(MachineCrash, self._on_machine_crash)
         if driver is not None:
             self.add_device(driver)
         for name, drv in (drivers or {}).items():
@@ -196,6 +201,19 @@ class Simulation:
         first = start_offset_ms if start_offset_ms is not None else interval_ms
         self.events.push(base + first, PeriodicFire(task))
 
+    def schedule_crash(self, at_ms: float) -> None:
+        """Crash the whole machine at simulation time ``at_ms``.
+
+        Every registered driver must support the crash protocol
+        (``crash``/``recover``/``resubmit``, as
+        :class:`~repro.driver.driver.AdaptiveDiskDriver` does): volatile
+        state is lost, the block table is recovered from its reserved-area
+        disk copy with every entry dirty, and the requests that were
+        queued or in flight are resubmitted once recovery completes —
+        the stateless-client (NFS) retry semantics of the paper's server.
+        """
+        self.events.push(at_ms, MachineCrash())
+
     # ------------------------------------------------------------------
     # Event loop
     # ------------------------------------------------------------------
@@ -252,6 +270,8 @@ class Simulation:
 
     def _on_device_complete(self, event: DeviceComplete) -> None:
         state = self._devices[event.device]
+        if event.epoch != state.epoch:
+            return  # completion of an operation lost in a crash
         state.completion_scheduled = False
         request, next_completion = state.driver.complete(self.now_ms)
         state.outstanding -= 1
@@ -272,8 +292,26 @@ class Simulation:
             raise RuntimeError(
                 f"device {state.name!r} has two operations in flight"
             )
-        self.events.push(time_ms, DeviceComplete(state.name))
+        self.events.push(time_ms, DeviceComplete(state.name, state.epoch))
         state.completion_scheduled = True
+
+    def _on_machine_crash(self, event: MachineCrash) -> None:
+        now = self.now_ms
+        for state in self._devices.values():
+            driver = state.driver
+            if not hasattr(driver, "crash"):
+                raise RuntimeError(
+                    f"device {state.name!r} does not support the crash "
+                    "protocol (crash/recover/resubmit)"
+                )
+            lost = driver.crash(now)
+            state.epoch += 1
+            state.completion_scheduled = False
+            clock = driver.recover(now)
+            for request in lost:
+                completion = driver.resubmit(request, clock)
+                if completion is not None:
+                    self._schedule_completion(state, completion)
 
     def _on_periodic_fire(self, event: PeriodicFire) -> None:
         task = event.task

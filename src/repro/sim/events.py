@@ -42,9 +42,15 @@ class StepIssue(SimEvent):
 
 @dataclass(frozen=True, eq=False)
 class DeviceComplete(SimEvent):
-    """The in-flight disk operation on ``device`` finishes."""
+    """The in-flight disk operation on ``device`` finishes.
+
+    ``epoch`` is the device's crash epoch at scheduling time: a crash
+    bumps the device epoch, which invalidates any completion event still
+    in the heap for an operation that no longer exists.
+    """
 
     device: str
+    epoch: int = 0
 
 
 @dataclass(frozen=True, eq=False)
@@ -52,6 +58,13 @@ class PeriodicFire(SimEvent):
     """A registered periodic task (user-level daemon) fires."""
 
     task: Any
+
+
+@dataclass(frozen=True, eq=False)
+class MachineCrash(SimEvent):
+    """The (simulated) machine crashes: every device loses its volatile
+    state and recovers with the paper's all-dirty protocol; lost requests
+    are resubmitted by the (NFS) clients once recovery completes."""
 
 
 @dataclass

@@ -36,6 +36,7 @@ from ..disk.models import DiskModel, disk_model
 from ..driver.driver import AdaptiveDiskDriver
 from ..driver.ioctl import IoctlInterface
 from ..driver.queue import make_queue
+from ..faults.plan import FaultPlan
 from ..obs.tracer import NULL_TRACER, Tracer
 from ..stats.metrics import DayMetrics
 from ..workload.generator import DayWorkload, WorkloadGenerator
@@ -61,6 +62,9 @@ class ExperimentConfig:
     monitor_capacity: int = 65536
     seed: int = 1993
     reserved_center: bool = True  # False: reserved area at the disk edge
+    faults: FaultPlan | None = None
+    """Deterministic fault injection; ``None`` (or an empty plan) keeps
+    the fault machinery entirely off the driver's hot path."""
 
     def resolved_reserved_cylinders(self) -> int:
         if self.reserved_cylinders is not None:
@@ -124,10 +128,14 @@ class Experiment:
         profile = profile_for_disk(config.profile, config.disk)
         partition = self._make_partition(profile)
         self.disk = Disk(self.model)
+        plan = config.faults
+        if plan is not None and plan.is_empty:
+            plan = None  # an empty plan must behave exactly like no plan
         self.driver = AdaptiveDiskDriver(
             disk=self.disk,
             label=self.label,
             queue=make_queue(config.queue_policy),
+            faults=plan.injector() if plan is not None else None,
         )
         self.driver.request_monitor.capacity = config.monitor_capacity
         self.ioctl = IoctlInterface(self.driver)
@@ -139,6 +147,12 @@ class Experiment:
             ),
             arranger=BlockArranger(
                 self.ioctl, policy=make_policy(config.placement_policy)
+            ),
+            max_error_rate=(
+                plan.degrade_threshold if plan is not None else None
+            ),
+            degrade_action=(
+                plan.degrade_action if plan is not None else "clean"
             ),
         )
         self.generator = WorkloadGenerator(
@@ -201,6 +215,11 @@ class Experiment:
         simulation = Simulation(self.driver, tracer=self.tracer)
         self.controller.attach_to(simulation)
         simulation.add_jobs(workload.jobs)
+        if self.driver.faults is not None:
+            # Each day is a fresh Simulation starting at t=0, so timed
+            # crashes are (day, offset) pairs claimed day by day.
+            for offset in self.driver.faults.claim_crash_times(day):
+                simulation.schedule_crash(offset)
         simulation.run()
         end_of_day = simulation.now_ms
 

@@ -43,6 +43,10 @@ class ScopeMetrics:
     mean_rotation_ms: float
     mean_transfer_ms: float
     buffer_hits: int
+    errors: int = 0
+    """Injected device errors hit while serving this class's requests."""
+    retries: int = 0
+    """Bounded retry attempts issued after transient errors."""
     service_histogram: TimeHistogram = field(repr=False, hash=False, compare=False, default_factory=TimeHistogram)
 
     @property
@@ -78,6 +82,8 @@ def scope_metrics(stats: ClassStats, seek_model: SeekModel) -> ScopeMetrics:
         mean_rotation_ms=stats.rotation.mean_ms,
         mean_transfer_ms=stats.transfer.mean_ms,
         buffer_hits=stats.buffer_hits,
+        errors=stats.errors,
+        retries=stats.retries,
         service_histogram=stats.service,
     )
 

@@ -195,12 +195,19 @@ def render_sweep(
 
 
 def render_day(metrics: DayMetrics, disk_name: str = "") -> str:
-    """One-line daily summary, for campaign progress output."""
+    """One-line daily summary, for campaign progress output.
+
+    Error and retry counts appear only on days that had any, so
+    fault-free campaign output is unchanged by the fault subsystem.
+    """
     m = metrics.all
     flag = "on " if metrics.rearranged else "off"
-    return (
+    line = (
         f"day {metrics.day:>2} [{flag}] {disk_name:<8} "
         f"reqs={m.requests:>6} seek={m.mean_seek_time_ms:6.2f}ms "
         f"service={m.mean_service_ms:6.2f}ms wait={m.mean_waiting_ms:7.2f}ms "
         f"zero-seeks={m.zero_seek_percent:4.0f}%"
     )
+    if m.errors or m.retries:
+        line += f" errors={m.errors} retries={m.retries}"
+    return line

@@ -57,6 +57,12 @@ class TestExamples:
         assert "Analytic predictions" in out
         assert "organ-pipe" in out
 
+    def test_crash_recovery(self, capsys):
+        out = run_example("crash_recovery.py", ["0.2"], capsys)
+        assert "every surviving entry dirty: True" in out
+        assert "recovered table matches the on-disk copy" in out
+        assert "degraded nights: 1" in out
+
     def test_shared_disk(self, capsys):
         out = run_example("shared_disk.py", ["0.5"], capsys)
         assert "reserved area serves both" in out

@@ -1,0 +1,129 @@
+"""Randomized, seeded stress test for the block table under faults.
+
+Hundreds of interleaved DKIOCBCOPY / DKIOCCLEAN / crash / attach steps —
+with reads and writes mixed in — against a live driver, with
+:class:`BlockTableInvariants` proving the table structurally sound after
+every single step.  The sequence is fully determined by the seed, so a
+failure reproduces with ``FAULT_STRESS_SEED=<n>``.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.disk.disk import Disk
+from repro.disk.label import DiskLabel
+from repro.disk.models import TOSHIBA_MK156F
+from repro.driver.blocktable import BlockTable
+from repro.driver.driver import AdaptiveDiskDriver
+from repro.driver.request import read_request, write_request
+from repro.faults.invariants import BlockTableInvariants
+
+SEEDS = [3, 17, 1993]
+if os.environ.get("FAULT_STRESS_SEED"):
+    SEEDS.append(int(os.environ["FAULT_STRESS_SEED"]))
+
+STEPS = 400
+
+
+def serve_one(driver, request):
+    completion = driver.strategy(request, request.arrival_ms)
+    while completion is not None:
+        __, completion = driver.complete(completion)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_driver_survives_random_interleaving(seed):
+    rng = random.Random(seed)
+    label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=4)
+    driver = AdaptiveDiskDriver(disk=Disk(TOSHIBA_MK156F), label=label)
+    checker = BlockTableInvariants(label)
+    slots = list(label.reserved_data_blocks())
+    hot_blocks = list(range(64))  # logical blocks the workload churns
+    clock = 0.0
+
+    for step in range(STEPS):
+        clock += 10.0
+        action = rng.choices(
+            ["bcopy", "clean", "io", "crash", "attach"],
+            weights=[40, 5, 40, 8, 7],
+        )[0]
+
+        if action == "bcopy":
+            block = rng.choice(hot_blocks)
+            physical = label.virtual_to_physical_block(block)
+            free = [
+                s
+                for s in slots
+                if driver.block_table.original_of(s) is None
+            ]
+            if physical in driver.block_table or not free:
+                continue
+            clock = driver.bcopy(block, rng.choice(free), clock)
+        elif action == "clean":
+            clock = driver.clean(clock)
+        elif action == "io":
+            block = rng.choice(hot_blocks)
+            make = rng.choice([read_request, write_request])
+            serve_one(driver, make(block, clock, tag=f"s{step}"))
+        elif action == "crash":
+            lost = driver.crash(clock)
+            assert lost == []  # every request above was fully drained
+            clock = driver.recover(clock)
+            checker.check_recovery(driver.block_table)
+        else:  # attach: a reboot that reloads the table from disk
+            driver.block_table.crash()
+            driver.attach()
+            checker.check_recovery(driver.block_table)
+
+        checker.check(driver.block_table)
+        # Memory and disk copy must agree on the mappings at every step:
+        # the driver forces the table out on every mutation.
+        disk_mappings = {
+            original: reserved
+            for original, (reserved, __) in driver.block_table.disk_copy().items()
+        }
+        memory_mappings = {
+            entry.original_block: entry.reserved_block
+            for entry in driver.block_table.entries()
+        }
+        assert disk_mappings == memory_mappings
+
+    assert driver.fault_stats.crashes == driver.fault_stats.recoveries
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_bare_table_random_ops_hold_invariants(seed):
+    """The table alone (no driver): add/remove/flush/crash/recover."""
+    rng = random.Random(seed)
+    label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=4)
+    checker = BlockTableInvariants(label)
+    slots = list(label.reserved_data_blocks())
+    table = BlockTable(capacity=len(slots))
+
+    for __ in range(STEPS):
+        action = rng.choices(
+            ["add", "remove", "dirty", "flush", "crash"],
+            weights=[40, 20, 15, 15, 10],
+        )[0]
+        entries = table.entries()
+        if action == "add":
+            free = [s for s in slots if table.original_of(s) is None]
+            original = rng.randrange(1000)
+            if not free or original in table:
+                continue
+            table.add(original, rng.choice(free))
+        elif action == "remove" and entries:
+            table.remove(rng.choice(entries).original_block)
+        elif action == "dirty" and entries:
+            table.mark_dirty(rng.choice(entries).original_block)
+        elif action == "flush":
+            table.write_to_disk()
+        elif action == "crash":
+            table.write_to_disk()  # the driver flushes before any crash
+            table.crash()
+            assert len(table) == 0
+            table.recover()
+            checker.check_recovery(table)
+        checker.check(table)
