@@ -1,0 +1,54 @@
+"""Continuous benchmarking: scenario suite, reports, and the regression gate.
+
+``repro.bench`` is how this repository proves that a hot path got faster —
+and that it did not get *different*.  Every scenario runs a deterministic,
+seeded simulation slice, times it, and reduces the simulated metrics to a
+canonical digest: two runs of the same scenario on any machine and any
+commit must produce the same digest, or the optimization changed observable
+behavior.  Wall-clock, by contrast, is machine-dependent; reports carry a
+calibration score so the regression gate can normalize timings between the
+committed baseline's machine and the current one.
+
+Entry points::
+
+    python -m repro bench                  # full suite -> BENCH_*.json
+    python -m repro bench --quick          # CI-sized slices
+    python -m repro bench --quick --compare benchmarks/results/baseline.json
+
+See ``docs/benchmarking.md`` for the scenario definitions, the JSON
+schema, and how the CI gate works.
+"""
+
+from .digest import day_metrics_payload, metrics_digest
+from .runner import (
+    BenchError,
+    BenchReport,
+    calibration_score,
+    compare_reports,
+    load_baseline,
+    machine_metadata,
+    run_scenario,
+    run_suite,
+    write_baseline,
+    write_report,
+)
+from .scenarios import SCENARIOS, Scenario, ScenarioResult, get_scenarios
+
+__all__ = [
+    "BenchError",
+    "BenchReport",
+    "SCENARIOS",
+    "Scenario",
+    "ScenarioResult",
+    "calibration_score",
+    "compare_reports",
+    "day_metrics_payload",
+    "get_scenarios",
+    "load_baseline",
+    "machine_metadata",
+    "metrics_digest",
+    "run_scenario",
+    "run_suite",
+    "write_baseline",
+    "write_report",
+]

@@ -1,0 +1,68 @@
+"""Canonical digests of simulated metrics.
+
+The digest is the bench suite's correctness anchor: an optimization is only
+an optimization if the scenario's digest is byte-identical before and after.
+Every quantity a :class:`~repro.stats.metrics.DayMetrics` carries — the
+full-resolution means *and* the bucketed distributions — feeds the hash, so
+even a one-ULP float drift or a single request landing in a neighboring
+histogram bucket changes it.
+
+Floats are serialized with :func:`repr` semantics (``json`` uses
+``float.__repr__``, the shortest round-trip form), which is stable for IEEE
+doubles across platforms and Python versions >= 3.1.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from ..stats.metrics import SCOPES, DayMetrics
+
+
+def day_metrics_payload(metrics: DayMetrics) -> dict[str, Any]:
+    """Reduce one day's metrics to a canonical, JSON-ready mapping."""
+    scopes: dict[str, Any] = {}
+    for scope in SCOPES:
+        m = metrics.scopes[scope]
+        hist = m.service_histogram
+        scopes[scope] = {
+            "requests": m.requests,
+            "mean_seek_distance": m.mean_seek_distance,
+            "fcfs_mean_seek_distance": m.fcfs_mean_seek_distance,
+            "zero_seek_fraction": m.zero_seek_fraction,
+            "mean_seek_time_ms": m.mean_seek_time_ms,
+            "fcfs_mean_seek_time_ms": m.fcfs_mean_seek_time_ms,
+            "mean_service_ms": m.mean_service_ms,
+            "mean_waiting_ms": m.mean_waiting_ms,
+            "mean_rotation_ms": m.mean_rotation_ms,
+            "mean_transfer_ms": m.mean_transfer_ms,
+            "buffer_hits": m.buffer_hits,
+            "errors": m.errors,
+            "retries": m.retries,
+            "service_buckets": {
+                str(bucket): count
+                for bucket, count in sorted(hist.buckets.items())
+            },
+            "service_total_ms": hist.total_ms,
+            "service_max_ms": hist.max_ms,
+        }
+    return {
+        "day": metrics.day,
+        "rearranged": metrics.rearranged,
+        "scopes": scopes,
+    }
+
+
+def canonical_json(payload: Any) -> str:
+    """The canonical serialization hashed by :func:`metrics_digest`."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def metrics_digest(payload: Any) -> str:
+    """``sha256:<hex>`` over the canonical JSON form of ``payload``."""
+    encoded = canonical_json(payload).encode("utf-8")
+    return "sha256:" + hashlib.sha256(encoded).hexdigest()

@@ -1,0 +1,304 @@
+"""Timing, report files, and the benchmark regression gate.
+
+A :class:`BenchReport` is one scenario's timed run.  Reports serialize to
+``BENCH_<scenario>.json`` at the repository root (the perf trajectory the
+ROADMAP asks for) and fold into a committed *baseline* file that the CI
+``bench`` job compares against.
+
+Wall-clock comparisons across machines are normalized by a **calibration
+score**: a fixed pure-Python workload timed on the same interpreter right
+before the scenarios.  The gate scales the current run's wall-clock by the
+ratio of calibration scores before applying the regression threshold, so a
+slower CI runner does not read as a code regression (and a faster one does
+not hide one).  Digests are compared exactly — they are machine-independent
+by construction.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from .digest import metrics_digest
+from .scenarios import Scenario, ScenarioResult
+
+SCHEMA = "repro-bench/1"
+BASELINE_SCHEMA = "repro-bench-baseline/1"
+DEFAULT_THRESHOLD = 0.15
+"""Fractional slowdown (normalized) above which the gate fails."""
+
+
+class BenchError(RuntimeError):
+    """A benchmark comparison failed (regression or digest mismatch)."""
+
+
+def machine_metadata() -> dict[str, Any]:
+    """Where this report was produced (recorded, never compared)."""
+    import os
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def calibration_score(target_s: float = 0.1) -> float:
+    """Iterations/second of a fixed pure-Python workload on this machine.
+
+    The workload mixes the operations the simulator leans on — integer
+    arithmetic, dict updates, list appends, attribute-free float math — so
+    its throughput tracks how fast this interpreter runs the simulator,
+    which is what makes cross-machine wall-clock normalization meaningful.
+    """
+
+    def unit(reps: int) -> float:
+        total = 0.0
+        counts: dict[int, int] = {}
+        seq: list[int] = []
+        for i in range(reps):
+            bucket = (i * 2654435761) % 97
+            counts[bucket] = counts.get(bucket, 0) + 1
+            seq.append(bucket)
+            total += bucket * 0.015625 + total * 1e-9
+        return total + len(seq) + len(counts)
+
+    unit(10_000)  # warm-up
+    reps = 50_000
+    start = time.perf_counter()
+    unit(reps)
+    elapsed = time.perf_counter() - start
+    # Scale the measured chunk up until it fills ~target_s for stability.
+    while elapsed < target_s:
+        reps *= 2
+        start = time.perf_counter()
+        unit(reps)
+        elapsed = time.perf_counter() - start
+    return reps / elapsed
+
+
+@dataclass
+class BenchReport:
+    """One timed scenario run, ready to serialize."""
+
+    scenario: str
+    mode: str  # "full" or "quick"
+    wall_s: float
+    wall_s_all: list[float]
+    events: int
+    requests: int
+    metrics_digest: str
+    calibration: float
+    machine: dict[str, Any] = field(default_factory=dict)
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_s <= 0:
+            return 0.0
+        return self.events / self.wall_s
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "wall_s": self.wall_s,
+            "wall_s_all": self.wall_s_all,
+            "events": self.events,
+            "events_per_sec": self.events_per_sec,
+            "requests": self.requests,
+            "metrics_digest": self.metrics_digest,
+            "calibration": self.calibration,
+            "machine": self.machine,
+            "detail": self.detail,
+        }
+
+
+def run_scenario(
+    scenario: Scenario,
+    quick: bool = False,
+    repeat: int = 1,
+    calibration: float | None = None,
+) -> BenchReport:
+    """Time ``scenario`` ``repeat`` times; keep the best wall-clock.
+
+    Every repetition must produce the same digest (the scenarios are
+    deterministic); a mismatch means nondeterminism crept into the
+    simulator and is reported as :class:`BenchError` immediately.
+    """
+    if repeat < 1:
+        raise ValueError("repeat must be >= 1")
+    if calibration is None:
+        calibration = calibration_score()
+    walls: list[float] = []
+    digest: str | None = None
+    result: ScenarioResult | None = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = scenario.run(quick)
+        walls.append(time.perf_counter() - start)
+        this_digest = metrics_digest(result.payload)
+        if digest is None:
+            digest = this_digest
+        elif digest != this_digest:
+            raise BenchError(
+                f"scenario {scenario.name!r} is nondeterministic: "
+                f"digest changed between repetitions"
+            )
+    assert result is not None and digest is not None
+    return BenchReport(
+        scenario=scenario.name,
+        mode="quick" if quick else "full",
+        wall_s=min(walls),
+        wall_s_all=walls,
+        events=result.events,
+        requests=result.requests,
+        metrics_digest=digest,
+        calibration=calibration,
+        machine=machine_metadata(),
+        detail=dict(result.detail),
+    )
+
+
+def run_suite(
+    scenarios: list[Scenario], quick: bool = False, repeat: int = 1
+) -> list[BenchReport]:
+    """Run several scenarios with one shared calibration measurement."""
+    calibration = calibration_score()
+    return [
+        run_scenario(s, quick=quick, repeat=repeat, calibration=calibration)
+        for s in scenarios
+    ]
+
+
+# ----------------------------------------------------------------------
+# Files
+# ----------------------------------------------------------------------
+
+
+def write_report(report: BenchReport, out_dir: str | Path = ".") -> Path:
+    """Write ``BENCH_<scenario>.json`` into ``out_dir``; returns the path."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{report.scenario}.json"
+    path.write_text(json.dumps(report.to_json(), indent=2) + "\n")
+    return path
+
+
+def write_baseline(
+    reports: list[BenchReport], path: str | Path
+) -> Path:
+    """Fold reports into the committed-baseline format used by CI."""
+    modes = {report.mode for report in reports}
+    if len(modes) > 1:
+        raise ValueError("cannot mix quick and full reports in a baseline")
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "mode": modes.pop() if modes else "full",
+        "machine": machine_metadata(),
+        "scenarios": {
+            report.scenario: {
+                "wall_s": report.wall_s,
+                "events": report.events,
+                "events_per_sec": report.events_per_sec,
+                "metrics_digest": report.metrics_digest,
+                "calibration": report.calibration,
+            }
+            for report in reports
+        },
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path
+
+
+def load_baseline(path: str | Path) -> dict[str, Any]:
+    document = json.loads(Path(path).read_text())
+    if document.get("schema") != BASELINE_SCHEMA:
+        raise BenchError(
+            f"{path} is not a bench baseline "
+            f"(schema {document.get('schema')!r}, expected "
+            f"{BASELINE_SCHEMA!r})"
+        )
+    return document
+
+
+def compare_reports(
+    reports: list[BenchReport],
+    baseline: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> list[str]:
+    """Check reports against a baseline; returns the list of failures.
+
+    Three checks per scenario, in order of severity:
+
+    1. the scenario exists in the baseline and modes match;
+    2. the metrics digest is byte-identical (behavior unchanged);
+    3. normalized wall-clock has not regressed by more than ``threshold``.
+
+    Normalization: ``wall * (baseline_calibration / current_calibration)``
+    — i.e. "how long would this run have taken on the baseline machine".
+    """
+    problems: list[str] = []
+    entries = baseline.get("scenarios", {})
+    for report in reports:
+        entry = entries.get(report.scenario)
+        if entry is None:
+            problems.append(
+                f"{report.scenario}: not present in baseline"
+            )
+            continue
+        if baseline.get("mode") != report.mode:
+            problems.append(
+                f"{report.scenario}: mode mismatch (baseline "
+                f"{baseline.get('mode')!r}, run {report.mode!r})"
+            )
+            continue
+        if entry["metrics_digest"] != report.metrics_digest:
+            problems.append(
+                f"{report.scenario}: metrics digest changed "
+                f"(baseline {entry['metrics_digest'][:23]}..., "
+                f"run {report.metrics_digest[:23]}...) — simulated "
+                "behavior is no longer identical"
+            )
+            continue
+        base_cal = float(entry.get("calibration") or 0.0)
+        if base_cal > 0 and report.calibration > 0:
+            speed_ratio = base_cal / report.calibration
+        else:
+            speed_ratio = 1.0
+        normalized = report.wall_s * speed_ratio
+        budget = float(entry["wall_s"]) * (1.0 + threshold)
+        if normalized > budget:
+            problems.append(
+                f"{report.scenario}: slowed beyond the {threshold:.0%} "
+                f"budget (baseline {entry['wall_s']:.3f}s, normalized "
+                f"run {normalized:.3f}s, raw {report.wall_s:.3f}s, "
+                f"machine-speed ratio {1 / speed_ratio:.2f}x)"
+            )
+    return problems
+
+
+def render_report_line(report: BenchReport) -> str:
+    """One human-readable summary line per scenario."""
+    return (
+        f"{report.scenario:<18} {report.mode:<5} "
+        f"wall {report.wall_s:8.3f}s  "
+        f"events {report.events:>8}  "
+        f"{report.events_per_sec:>10.0f} ev/s  "
+        f"requests {report.requests:>7}  "
+        f"{report.metrics_digest[:19]}..."
+    )
+
+
+def main_check(message: str) -> None:  # pragma: no cover - CLI glue
+    print(message, file=sys.stderr)

@@ -1,0 +1,210 @@
+"""The benchmark scenario suite.
+
+Three scenarios cover the simulator's hot paths from three angles:
+
+``standard_day``
+    The paper's bread-and-butter experiment: a training (off) day followed
+    by a rearranged (on) day on the Toshiba disk under the *system*
+    workload, nightly cycle included.  This is the scenario the headline
+    performance numbers quote.
+
+``block_sweep_slice``
+    A slice of the Figure-8 block-count sweep on the Fujitsu disk —
+    exercises the track-buffer read path, the larger geometry, and
+    back-to-back rearrangement nights.
+
+``fault_stress``
+    The standard day with deterministic fault injection: transient errors
+    with bounded retries, pinned media errors, a mid-day machine crash and
+    a crash between nightly block moves.  Keeps the error paths honest and
+    times them.
+
+Every scenario is deterministic: fixed seeds, fixed day lengths per mode.
+``quick`` mode shrinks the simulated day so CI can afford the suite; the
+digests of quick and full runs differ (different workloads) but each is
+reproducible on any machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..faults.spec import parse_fault_spec
+from ..sim.experiment import Experiment, ExperimentConfig
+from ..workload.profiles import PROFILES
+from .digest import day_metrics_payload
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """What one scenario run produced (before timing is attached)."""
+
+    payload: dict[str, Any]
+    """Digest input: every simulated metric the scenario observed."""
+    events: int
+    """Simulation events dispatched across all days."""
+    requests: int
+    """Workload requests issued across all days."""
+    detail: dict[str, Any] = field(default_factory=dict)
+    """Scenario-specific context recorded in the report (not hashed)."""
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, deterministic benchmark scenario."""
+
+    name: str
+    description: str
+    run: Callable[[bool], ScenarioResult]
+
+
+def _config(
+    disk: str, hours: float, faults: str | None = None
+) -> ExperimentConfig:
+    profile = PROFILES["system"].scaled(hours=hours)
+    plan = parse_fault_spec(faults) if faults else None
+    return ExperimentConfig(
+        profile=profile, disk=disk, seed=1993, faults=plan
+    )
+
+
+def _run_days(
+    experiment: Experiment, schedule: list[bool]
+) -> ScenarioResult:
+    """Run an explicit on/off schedule, collecting payloads and counters."""
+    days: list[dict[str, Any]] = []
+    requests = 0
+    for day, on_today in enumerate(schedule):
+        on_tomorrow = schedule[day + 1] if day + 1 < len(schedule) else False
+        result = experiment.run_day(
+            rearranged=on_today, rearrange_tomorrow=on_tomorrow
+        )
+        requests += result.workload_requests
+        days.append(
+            {
+                "metrics": day_metrics_payload(result.metrics),
+                "workload_requests": result.workload_requests,
+                "workload_reads": result.workload_reads,
+                "rearranged_blocks": result.rearranged_blocks,
+            }
+        )
+    return ScenarioResult(
+        payload={"days": days},
+        events=experiment.events_dispatched,
+        requests=requests,
+    )
+
+
+def _standard_day(quick: bool) -> ScenarioResult:
+    hours = 1.0 if quick else 15.0
+    experiment = Experiment(_config("toshiba", hours))
+    result = _run_days(experiment, [False, True])
+    result.detail.update(disk="toshiba", hours=hours, days=2)
+    return result
+
+
+def _block_sweep_slice(quick: bool) -> ScenarioResult:
+    hours = 0.25 if quick else 1.0
+    counts = [200] if quick else [500, 3500]
+    experiment = Experiment(_config("fujitsu", hours))
+    days: list[dict[str, Any]] = []
+    requests = 0
+
+    def note(count: int, result) -> None:
+        nonlocal requests
+        requests += result.workload_requests
+        days.append(
+            {
+                "count": count,
+                "metrics": day_metrics_payload(result.metrics),
+                "workload_requests": result.workload_requests,
+                "rearranged_blocks": result.rearranged_blocks,
+            }
+        )
+
+    note(
+        0,
+        experiment.run_day(
+            rearranged=False,
+            rearrange_tomorrow=bool(counts),
+            num_blocks_tomorrow=counts[0] if counts else 0,
+        ),
+    )
+    for index, count in enumerate(counts):
+        next_count = counts[index + 1] if index + 1 < len(counts) else 0
+        note(
+            count,
+            experiment.run_day(
+                rearranged=count > 0,
+                rearrange_tomorrow=index + 1 < len(counts),
+                num_blocks_tomorrow=next_count,
+            ),
+        )
+    return ScenarioResult(
+        payload={"days": days},
+        events=experiment.events_dispatched,
+        requests=requests,
+        detail={"disk": "fujitsu", "hours": hours, "counts": counts},
+    )
+
+
+def _fault_stress(quick: bool) -> ScenarioResult:
+    hours = 0.5 if quick else 1.0
+    crash_ms = int(hours * 1_800_000)  # mid-way through day 1
+    spec = (
+        "seed=7,transient=0.002,retries=3,media=rand:4,"
+        f"crash=day1@{crash_ms},crash=copy40"
+    )
+    experiment = Experiment(_config("toshiba", hours, faults=spec))
+    result = _run_days(experiment, [False, True])
+    stats = experiment.driver.fault_stats
+    result.payload["fault_stats"] = {
+        "transient_faults": stats.transient_faults,
+        "media_faults": stats.media_faults,
+        "retries": stats.retries,
+        "timeouts": stats.timeouts,
+        "failed_requests": stats.failed_requests,
+        "fallback_serves": stats.fallback_serves,
+        "evictions": stats.evictions,
+        "skipped_moves": stats.skipped_moves,
+        "crashes": stats.crashes,
+        "recoveries": stats.recoveries,
+    }
+    result.detail.update(disk="toshiba", hours=hours, spec=spec)
+    return result
+
+
+SCENARIOS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "standard_day",
+            "off day + rearranged day, Toshiba, system workload",
+            _standard_day,
+        ),
+        Scenario(
+            "block_sweep_slice",
+            "Figure-8 sweep slice, Fujitsu (track buffer on)",
+            _block_sweep_slice,
+        ),
+        Scenario(
+            "fault_stress",
+            "standard day under transient/media faults and crashes",
+            _fault_stress,
+        ),
+    )
+}
+
+
+def get_scenarios(names: list[str] | None = None) -> list[Scenario]:
+    """Resolve scenario names (``None`` means the full suite, in order)."""
+    if names is None:
+        return list(SCENARIOS.values())
+    missing = [name for name in names if name not in SCENARIOS]
+    if missing:
+        known = ", ".join(SCENARIOS)
+        raise KeyError(
+            f"unknown scenario(s) {', '.join(missing)}; known: {known}"
+        )
+    return [SCENARIOS[name] for name in names]

@@ -8,6 +8,7 @@ Subcommands::
     python -m repro workload --profile system --out day0.trace
     python -m repro replay   day0.trace --disk toshiba [--rearrange]
     python -m repro trace    run.jsonl --disk toshiba
+    python -m repro bench    [--quick] [--compare BASELINE.json]
 
 All commands accept ``--hours`` to shorten the measurement day (the paper
 used 15-hour days) and ``--seed`` for reproducibility.  ``onoff`` and
@@ -263,6 +264,48 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from .bench import (
+        BenchError,
+        compare_reports,
+        get_scenarios,
+        load_baseline,
+        run_suite,
+        write_baseline,
+        write_report,
+    )
+    from .bench.runner import render_report_line
+
+    names = args.scenarios.split(",") if args.scenarios else None
+    try:
+        scenarios = get_scenarios(names)
+    except KeyError as exc:
+        raise SystemExit(str(exc.args[0]))
+    reports = run_suite(scenarios, quick=args.quick, repeat=args.repeat)
+    for report in reports:
+        print(render_report_line(report))
+        path = write_report(report, args.out)
+        print(f"  -> {path}")
+    if args.write_baseline:
+        path = write_baseline(reports, args.write_baseline)
+        print(f"baseline -> {path}")
+    if args.compare:
+        try:
+            baseline = load_baseline(args.compare)
+        except (OSError, ValueError, BenchError) as exc:
+            raise SystemExit(f"cannot load baseline: {exc}")
+        problems = compare_reports(
+            reports, baseline, threshold=args.threshold
+        )
+        if problems:
+            print(f"\nFAIL vs {args.compare}:", file=sys.stderr)
+            for problem in problems:
+                print(f"  - {problem}", file=sys.stderr)
+            return 1
+        print(f"\nOK vs {args.compare} (threshold {args.threshold:.0%})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -344,6 +387,40 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--day", type=int, default=0)
     trace.add_argument("--rearranged", action="store_true")
     trace.set_defaults(func=cmd_trace)
+
+    bench = sub.add_parser(
+        "bench", help="time the scenario suite; gate against a baseline"
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized day lengths (digests differ from full mode)",
+    )
+    bench.add_argument(
+        "--scenarios", default=None, metavar="NAME[,NAME...]",
+        help="subset of scenarios to run (default: the full suite)",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=1,
+        help="repetitions per scenario; best wall-clock is reported",
+    )
+    bench.add_argument(
+        "--out", default=".", metavar="DIR",
+        help="directory for BENCH_<scenario>.json (default: repo root)",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="BASELINE.json",
+        help="fail if a digest changed or a scenario slowed beyond "
+        "--threshold vs this baseline",
+    )
+    bench.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="also write the combined baseline document to FILE",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="fractional slowdown tolerated by --compare (default 0.15)",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     return parser
 

@@ -87,6 +87,8 @@ class Simulation:
         self.bus = EventBus()
         self.tracer = tracer
         self.completed: list[DiskRequest] = []
+        self.events_dispatched = 0
+        """Total events this simulation has processed (all :meth:`run` calls)."""
         self._devices: dict[str, DeviceState] = {}
         self._waiting_jobs: dict[int, tuple[Job, int, str]] = {}
         self.bus.subscribe(JobStart, self._on_job_start)
@@ -225,12 +227,15 @@ class Simulation:
         completion order (across all devices).
         """
         completed_before = len(self.completed)
+        dispatched = 0
         while self.events:
             next_time = self.events.peek_time()
             assert next_time is not None
             if until_ms is not None and next_time > until_ms:
                 break
             self.bus.dispatch(self.events.pop())
+            dispatched += 1
+        self.events_dispatched += dispatched
         return self.completed[completed_before:]
 
     @property

@@ -162,6 +162,8 @@ class Experiment:
             seed=config.seed,
         )
         self._day_index = 0
+        self.events_dispatched = 0
+        """Simulation events processed across every day run so far."""
 
     def _make_partition(self, profile: WorkloadProfile):
         """Lay out the file system's partition per the profile's band.
@@ -222,6 +224,7 @@ class Experiment:
                 simulation.schedule_crash(offset)
         simulation.run()
         end_of_day = simulation.now_ms
+        self.events_dispatched += simulation.events_dispatched
 
         tables = self.ioctl.read_stats()
         metrics = DayMetrics.from_tables(
