@@ -22,7 +22,7 @@ from .seek import SeekModel
 from .trackbuffer import TrackBuffer
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServiceBreakdown:
     """Component delays of one serviced block access (all in ms)."""
 
@@ -63,13 +63,31 @@ class Disk:
     _contents: dict[int, object] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
-        self._rotation = RotationModel(self.model.geometry)
+        geometry = self.model.geometry
+        self._rotation = RotationModel(geometry)
         if self.model.track_buffer_bytes:
             self._track_buffer = TrackBuffer(
-                geometry=self.model.geometry,
+                geometry=geometry,
                 capacity_bytes=self.model.track_buffer_bytes,
                 host_transfer_ms=self.model.track_buffer_transfer_ms,
             )
+        # Hot-path constants.  The seek table holds the piecewise model's
+        # value for every reachable cylinder delta (verified equal in
+        # tests/test_api.py), so a request costs one list index instead of
+        # a branch + sqrt/cbrt/log evaluation.  The remaining scalars are
+        # the exact floats the properties would recompute per access.
+        seek = self.model.seek
+        self._seek_table: list[float] = [
+            seek.time(d) for d in range(geometry.cylinders)
+        ]
+        self._overhead_ms = self.model.controller_overhead_ms
+        self._blocks_per_cylinder = geometry.blocks_per_cylinder
+        self._sectors_per_block = geometry.sectors_per_block
+        self._sectors_per_track = geometry.sectors_per_track
+        self._total_blocks = geometry.total_blocks
+        self._sector_time_ms = geometry.sector_time_ms
+        self._rotation_time_ms = geometry.rotation_time_ms
+        self._block_transfer_ms = geometry.block_transfer_time_ms(1)
 
     @property
     def geometry(self) -> DiskGeometry:
@@ -90,50 +108,63 @@ class Disk:
         breakdown.  The caller must not start another access before
         ``finish_ms`` of the returned breakdown.
         """
-        address = self.geometry.locate_block(block)
+        if not 0 <= block < self._total_blocks:
+            raise ValueError(
+                f"block {block} out of range [0, {self._total_blocks})"
+            )
+        cylinder, index = divmod(block, self._blocks_per_cylinder)
         self.accesses += 1
 
-        if is_read and self._track_buffer is not None:
-            if self._track_buffer.lookup_read(block):
+        buffer = self._track_buffer
+        if is_read and buffer is not None:
+            if buffer.lookup_read(block):
                 # Buffer hit: no mechanical work at all; the head stays put.
                 return ServiceBreakdown(
                     block=block,
-                    cylinder=address.cylinder,
+                    cylinder=cylinder,
                     is_read=True,
                     start_ms=now_ms,
                     seek_distance=0,
                     seek_ms=0.0,
                     rotation_ms=0.0,
-                    transfer_ms=self._track_buffer.host_transfer_ms,
-                    overhead_ms=self.model.controller_overhead_ms,
+                    transfer_ms=buffer.host_transfer_ms,
+                    overhead_ms=self._overhead_ms,
                     buffer_hit=True,
                 )
 
-        distance = abs(address.cylinder - self.head_cylinder)
-        seek_ms = self.seek_model.time(distance)
-        arrival = now_ms + self.model.controller_overhead_ms + seek_ms
-        rotation_ms = self._rotation.latency_to_sector(
-            arrival, address.start_sector
-        )
-        transfer_ms = self.geometry.block_transfer_time_ms(1)
+        distance = abs(cylinder - self.head_cylinder)
+        seek_ms = self._seek_table[distance]
+        arrival = now_ms + self._overhead_ms + seek_ms
+        # Rotational latency, inlined from RotationModel.latency_to_sector
+        # with the identical float operation sequence (the digest depends
+        # on it): angle in sector units, wrap-guarded delta * sector time.
+        start_sector = (
+            index * self._sectors_per_block
+        ) % self._sectors_per_track
+        angle = (arrival / self._sector_time_ms) % self._sectors_per_track
+        rotation_ms = (
+            (start_sector - angle) % self._sectors_per_track
+        ) * self._sector_time_ms
+        if rotation_ms >= self._rotation_time_ms:
+            rotation_ms -= self._rotation_time_ms
 
-        self.head_cylinder = address.cylinder
-        if self._track_buffer is not None:
+        self.head_cylinder = cylinder
+        if buffer is not None:
             if is_read:
-                self._track_buffer.fill_after_read(block)
+                buffer.fill_after_read(block)
             else:
-                self._track_buffer.invalidate_write(block)
+                buffer.invalidate_write(block)
 
         return ServiceBreakdown(
             block=block,
-            cylinder=address.cylinder,
+            cylinder=cylinder,
             is_read=is_read,
             start_ms=now_ms,
             seek_distance=distance,
             seek_ms=seek_ms,
             rotation_ms=rotation_ms,
-            transfer_ms=transfer_ms,
-            overhead_ms=self.model.controller_overhead_ms,
+            transfer_ms=self._block_transfer_ms,
+            overhead_ms=self._overhead_ms,
             buffer_hit=False,
         )
 

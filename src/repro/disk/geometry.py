@@ -20,6 +20,7 @@ inside one cylinder (so a block access never requires a mid-transfer seek).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 SECTOR_BYTES = 512
 """Size of one disk sector in bytes (both of the paper's drives)."""
@@ -28,7 +29,7 @@ DEFAULT_BLOCK_BYTES = 8192
 """The paper's file-system block size: 8 kilobytes (Section 5)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BlockAddress:
     """Physical location of one file-system block on the platter."""
 
@@ -55,6 +56,11 @@ class DiskGeometry:
     sector_bytes: int = SECTOR_BYTES
     block_bytes: int = DEFAULT_BLOCK_BYTES
 
+    # Derived sizes below are ``cached_property``: the dataclass is frozen,
+    # so each is a constant, and several sit on the per-request hot path.
+    # Equality and hashing use the declared fields only, so the cache is
+    # invisible to value semantics.
+
     def __post_init__(self) -> None:
         if self.cylinders <= 0:
             raise ValueError("cylinders must be positive")
@@ -73,16 +79,16 @@ class DiskGeometry:
     # Derived sizes
     # ------------------------------------------------------------------
 
-    @property
+    @cached_property
     def sectors_per_block(self) -> int:
         """Sectors occupied by one file-system block (16 for 8 KB blocks)."""
         return self.block_bytes // self.sector_bytes
 
-    @property
+    @cached_property
     def sectors_per_cylinder(self) -> int:
         return self.tracks_per_cylinder * self.sectors_per_track
 
-    @property
+    @cached_property
     def blocks_per_cylinder(self) -> int:
         """Whole file-system blocks that fit in one cylinder.
 
@@ -91,15 +97,15 @@ class DiskGeometry:
         """
         return self.sectors_per_cylinder // self.sectors_per_block
 
-    @property
+    @cached_property
     def total_blocks(self) -> int:
         return self.cylinders * self.blocks_per_cylinder
 
-    @property
+    @cached_property
     def total_sectors(self) -> int:
         return self.cylinders * self.sectors_per_cylinder
 
-    @property
+    @cached_property
     def capacity_bytes(self) -> int:
         return self.total_sectors * self.sector_bytes
 
@@ -107,12 +113,12 @@ class DiskGeometry:
     # Timing primitives
     # ------------------------------------------------------------------
 
-    @property
+    @cached_property
     def rotation_time_ms(self) -> float:
         """Duration of one full platter revolution, in milliseconds."""
         return 60_000.0 / self.rpm
 
-    @property
+    @cached_property
     def sector_time_ms(self) -> float:
         """Time for one sector to pass under the head, in milliseconds."""
         return self.rotation_time_ms / self.sectors_per_track

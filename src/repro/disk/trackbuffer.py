@@ -36,25 +36,32 @@ class TrackBuffer:
     host_transfer_ms: float = 2.0
     hits: int = 0
     misses: int = 0
-    _cached: set[int] = field(default_factory=set, repr=False)
+    # Buffer contents as a half-open interval [_start, _end) minus _holes
+    # (blocks dropped by writes).  A refill is then two integer stores and
+    # a set clear instead of materializing a 32-block set per media read.
+    _start: int = field(default=0, repr=False)
+    _end: int = field(default=0, repr=False)
+    _holes: set[int] = field(default_factory=set, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity_bytes < self.geometry.block_bytes:
             raise ValueError("buffer must hold at least one block")
         if self.host_transfer_ms < 0:
             raise ValueError("host_transfer_ms must be non-negative")
+        self._capacity_blocks = self.capacity_bytes // self.geometry.block_bytes
+        self._blocks_per_cylinder = self.geometry.blocks_per_cylinder
 
     @property
     def capacity_blocks(self) -> int:
-        return self.capacity_bytes // self.geometry.block_bytes
+        return self._capacity_blocks
 
     def contains(self, block: int) -> bool:
         """True if a read of ``block`` would hit the buffer."""
-        return block in self._cached
+        return self._start <= block < self._end and block not in self._holes
 
     def lookup_read(self, block: int) -> bool:
         """Record a read probe; returns True on a buffer hit."""
-        if block in self._cached:
+        if self._start <= block < self._end and block not in self._holes:
             self.hits += 1
             return True
         self.misses += 1
@@ -67,18 +74,22 @@ class TrackBuffer:
         cylinder, clipped to the buffer capacity: read-ahead follows the
         platter but does not seek.
         """
-        cylinder_blocks = self.geometry.blocks_of_cylinder(
-            self.geometry.cylinder_of_block(block)
-        )
-        end = min(block + self.capacity_blocks, cylinder_blocks.stop)
-        self._cached = set(range(block, end))
+        per_cyl = self._blocks_per_cylinder
+        cylinder_stop = (block // per_cyl + 1) * per_cyl
+        self._start = block
+        self._end = min(block + self._capacity_blocks, cylinder_stop)
+        if self._holes:
+            self._holes.clear()
 
     def invalidate_write(self, block: int) -> None:
         """Drop ``block`` from the buffer after it is overwritten."""
-        self._cached.discard(block)
+        if self._start <= block < self._end:
+            self._holes.add(block)
 
     def invalidate_all(self) -> None:
-        self._cached.clear()
+        self._start = self._end = 0
+        if self._holes:
+            self._holes.clear()
 
     @property
     def hit_ratio(self) -> float:

@@ -24,7 +24,7 @@ from ..stats.histogram import DistanceHistogram, TimeHistogram
 from .request import DiskRequest
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestRecord:
     """One row of the driver's request table."""
 

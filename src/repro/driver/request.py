@@ -32,7 +32,7 @@ class Op(Enum):
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class DiskRequest:
     """One block-sized I/O request as seen by the driver.
 

@@ -18,12 +18,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class SimEvent:
     """Base class of every typed simulation event."""
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class JobStart(SimEvent):
     """A workload job reaches its start time on ``device``."""
 
@@ -31,7 +31,7 @@ class JobStart(SimEvent):
     device: str
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class StepIssue(SimEvent):
     """One step of a (closed-loop) job is issued to ``device``."""
 
@@ -40,7 +40,7 @@ class StepIssue(SimEvent):
     device: str
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class DeviceComplete(SimEvent):
     """The in-flight disk operation on ``device`` finishes.
 
@@ -53,14 +53,14 @@ class DeviceComplete(SimEvent):
     epoch: int = 0
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class PeriodicFire(SimEvent):
     """A registered periodic task (user-level daemon) fires."""
 
     task: Any
 
 
-@dataclass(frozen=True, eq=False)
+@dataclass(frozen=True, eq=False, slots=True)
 class MachineCrash(SimEvent):
     """The (simulated) machine crashes: every device loses its volatile
     state and recovers with the paper's all-dirty protocol; lost requests

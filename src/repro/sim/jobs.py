@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from ..driver.request import DiskRequest, Op
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Step:
     """One block access within a job."""
 
