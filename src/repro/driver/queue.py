@@ -25,6 +25,8 @@ from .request import DiskRequest
 class DiskQueue(ABC):
     """Interface shared by all queueing policies."""
 
+    __slots__ = ()
+
     name: str = "abstract"
 
     @abstractmethod
@@ -55,6 +57,8 @@ class FCFSQueue(DiskQueue):
 
     name = "fcfs"
 
+    __slots__ = ("_queue",)
+
     def __init__(self) -> None:
         self._queue: deque[DiskRequest] = deque()
 
@@ -74,35 +78,40 @@ class FCFSQueue(DiskQueue):
 
 
 class _SortedCylinderQueue(DiskQueue):
-    """Shared machinery: requests kept sorted by (cylinder, arrival seq)."""
+    """Shared machinery: requests kept sorted by (cylinder, arrival seq).
+
+    One list of ``(cylinder, seq, request)`` entries rather than parallel
+    key/request lists: half the ``list.insert``/``list.pop`` element moves
+    per operation.  Probe keys are 2-tuples — a ``(cylinder, seq)`` prefix
+    never ties a stored entry (``seq`` is unique), so tuple comparison
+    always resolves before reaching the request.
+    """
+
+    __slots__ = ("_entries", "_seq")
 
     def __init__(self) -> None:
-        self._keys: list[tuple[int, int]] = []
-        self._requests: list[DiskRequest] = []
+        self._entries: list[tuple[int, int, DiskRequest]] = []
         self._seq = itertools.count()
 
     def push(self, request: DiskRequest, cylinder: int) -> None:
-        key = (cylinder, next(self._seq))
-        index = bisect.bisect_left(self._keys, key)
-        self._keys.insert(index, key)
-        self._requests.insert(index, request)
+        entry = (cylinder, next(self._seq), request)
+        bisect.insort_left(self._entries, entry)
 
     def __iter__(self) -> Iterator[DiskRequest]:
-        return iter(self._requests)
+        return (entry[2] for entry in self._entries)
 
     def __len__(self) -> int:
-        return len(self._requests)
+        return len(self._entries)
 
     def _pop_index(self, index: int) -> DiskRequest:
-        self._keys.pop(index)
-        return self._requests.pop(index)
+        return self._entries.pop(index)[2]
 
     def _first_at_or_above(self, cylinder: int) -> int:
         """Index of the first queued request on a cylinder >= ``cylinder``."""
-        return bisect.bisect_left(self._keys, (cylinder, -1))
+        return bisect.bisect_left(self._entries, (cylinder, -1))
 
     def _cylinder_at(self, index: int) -> int:
-        return self._keys[index][0]
+        return self._entries[index][0]
 
 
 class ScanQueue(_SortedCylinderQueue):
@@ -115,16 +124,18 @@ class ScanQueue(_SortedCylinderQueue):
 
     name = "scan"
 
+    __slots__ = ("ascending",)
+
     def __init__(self, ascending: bool = True) -> None:
         super().__init__()
         self.ascending = ascending
 
     def pop(self, head_cylinder: int) -> DiskRequest:
-        if not self._requests:
+        if not self._entries:
             raise IndexError("pop from empty disk queue")
         if self.ascending:
             index = self._first_at_or_above(head_cylinder)
-            if index == len(self._keys):
+            if index == len(self._entries):
                 self.ascending = False
                 return self.pop(head_cylinder)
             return self._pop_index(index)
@@ -140,11 +151,13 @@ class CScanQueue(_SortedCylinderQueue):
 
     name = "cscan"
 
+    __slots__ = ()
+
     def pop(self, head_cylinder: int) -> DiskRequest:
-        if not self._requests:
+        if not self._entries:
             raise IndexError("pop from empty disk queue")
         index = self._first_at_or_above(head_cylinder)
-        if index == len(self._keys):
+        if index == len(self._entries):
             index = 0  # wrap around to the lowest cylinder
         return self._pop_index(index)
 
@@ -154,12 +167,14 @@ class SSTFQueue(_SortedCylinderQueue):
 
     name = "sstf"
 
+    __slots__ = ()
+
     def pop(self, head_cylinder: int) -> DiskRequest:
-        if not self._requests:
+        if not self._entries:
             raise IndexError("pop from empty disk queue")
         above = self._first_at_or_above(head_cylinder)
         candidates: list[tuple[int, int]] = []  # (distance, index)
-        if above < len(self._keys):
+        if above < len(self._entries):
             candidates.append(
                 (self._cylinder_at(above) - head_cylinder, above)
             )
