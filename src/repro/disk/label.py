@@ -67,6 +67,12 @@ class DiskLabel:
         end = self.reserved_start_cylinder + self.reserved_cylinders
         if not 0 <= self.reserved_start_cylinder <= end <= self.geometry.cylinders:
             raise ValueError("reserved area does not fit on the disk")
+        # Hot-path constants for virtual_to_physical_block, which runs
+        # once per request.  Label fields are set once at creation.
+        self._per_cyl = self.geometry.blocks_per_cylinder
+        self._virtual_total = self.virtual_cylinders * self._per_cyl
+        self._reserved_start = self.reserved_start_cylinder
+        self._reserved_count = self.reserved_cylinders
 
     # ------------------------------------------------------------------
     # Identity and sizes
@@ -119,11 +125,13 @@ class DiskLabel:
 
     def virtual_to_physical_block(self, block: int) -> int:
         """Map a file-system (virtual) block to its home physical block."""
-        if not 0 <= block < self.virtual_total_blocks:
+        if not 0 <= block < self._virtual_total:
             raise ValueError(f"virtual block {block} out of range")
-        per_cyl = self.geometry.blocks_per_cylinder
+        per_cyl = self._per_cyl
         cylinder, index = divmod(block, per_cyl)
-        return self.virtual_to_physical_cylinder(cylinder) * per_cyl + index
+        if cylinder >= self._reserved_start:
+            cylinder += self._reserved_count
+        return cylinder * per_cyl + index
 
     def physical_to_virtual_block(self, block: int) -> int:
         """Inverse of :meth:`virtual_to_physical_block`."""

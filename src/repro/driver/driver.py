@@ -117,6 +117,7 @@ class AdaptiveDiskDriver:
             self.block_table.capacity = self.label.reserved_capacity_blocks()
         if self.faults is not None:
             self.faults.bind_label(self.label)
+        self._blocks_per_cylinder = self.disk.geometry.blocks_per_cylinder
 
     # ------------------------------------------------------------------
     # Attach / recovery
@@ -207,7 +208,9 @@ class AdaptiveDiskDriver:
 
         physical = self.label.virtual_to_physical_block(request.logical_block)
         request.physical_block = physical
-        request.home_cylinder = self.disk.geometry.cylinder_of_block(physical)
+        # The label always yields an in-range physical block, so the
+        # cylinder is plain integer division (no re-validation).
+        request.home_cylinder = physical // self._blocks_per_cylinder
 
         entry = self.block_table.lookup(physical)
         if entry is not None:
@@ -246,11 +249,9 @@ class AdaptiveDiskDriver:
         self, request: DiskRequest, now_ms: float, record: bool = True
     ) -> float | None:
         assert request.target_block is not None
-        target_cylinder = self.disk.geometry.cylinder_of_block(
-            request.target_block
-        )
+        target_cylinder = request.target_block // self._blocks_per_cylinder
         self.queue.push(request, target_cylinder)
-        if record:
+        if record and self.tracer is not NULL_TRACER:
             # Crash resubmissions are not new arrivals: the monitors (and
             # any trace being written) already saw this request once.
             self.tracer.request_enqueued(
@@ -271,7 +272,8 @@ class AdaptiveDiskDriver:
         self._current = None
         request.complete_ms = now_ms
         self.perf_monitor.note_completion(request)
-        self.tracer.service_complete(self.name, request, now_ms)
+        if self.tracer is not NULL_TRACER:
+            self.tracer.service_complete(self.name, request, now_ms)
         next_completion = None
         if self.queue:
             next_completion = self._start_next(now_ms)
@@ -287,9 +289,10 @@ class AdaptiveDiskDriver:
         else:
             breakdown = self._access_with_faults(request, now_ms)
         self._apply_breakdown(request, breakdown, now_ms)
-        self.tracer.seek_started(
-            self.name, request, now_ms, breakdown.seek_distance
-        )
+        if self.tracer is not NULL_TRACER:
+            self.tracer.seek_started(
+                self.name, request, now_ms, breakdown.seek_distance
+            )
         if not request.is_read:
             self._apply_write(request)
         self._current = request

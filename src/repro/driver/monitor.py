@@ -157,25 +157,42 @@ class PerformanceMonitor:
         default_factory=lambda: {"all": None, "read": None, "write": None}
     )
 
+    def __post_init__(self) -> None:
+        self._bind_scopes()
+
+    def _bind_scopes(self) -> None:
+        """Prebind the (scope, stats) pairs touched per request.
+
+        Every note_* call updates "all" plus the direction scope; binding
+        the pairs once replaces two dict lookups and a tuple build per
+        call with a single dict index on ``is_read``.  Rebound whenever
+        the tables are replaced (:meth:`read_and_clear`).
+        """
+        classes = self._classes
+        self._scope_pairs = {
+            True: (("all", classes["all"]), ("read", classes["read"])),
+            False: (("all", classes["all"]), ("write", classes["write"])),
+        }
+
     def _scopes(self, is_read: bool) -> tuple[str, str]:
         return ("all", "read" if is_read else "write")
 
     def note_arrival(self, request: DiskRequest) -> None:
-        if request.home_cylinder is None:
+        home = request.home_cylinder
+        if home is None:
             raise ValueError("request has no home cylinder; map it first")
-        for scope in self._scopes(request.is_read):
-            stats = self._classes[scope]
-            last = self._last_arrival_cylinder[scope]
+        last_by_scope = self._last_arrival_cylinder
+        for scope, stats in self._scope_pairs[request.is_read]:
+            last = last_by_scope[scope]
             if last is not None:
-                stats.arrival_seek.record(abs(request.home_cylinder - last))
-            self._last_arrival_cylinder[scope] = request.home_cylinder
+                stats.arrival_seek.record(abs(home - last))
+            last_by_scope[scope] = home
             stats.requests += 1
 
     def note_completion(self, request: DiskRequest) -> None:
         if request.seek_distance is None:
             raise ValueError("request has no service breakdown")
-        for scope in self._scopes(request.is_read):
-            stats = self._classes[scope]
+        for __, stats in self._scope_pairs[request.is_read]:
             stats.scheduled_seek.record(request.seek_distance)
             stats.service.record(request.service_ms)
             stats.queueing.record(request.queueing_ms)
@@ -188,13 +205,13 @@ class PerformanceMonitor:
 
     def note_fault(self, is_read: bool) -> None:
         """Count one injected device error against the request classes."""
-        for scope in self._scopes(is_read):
-            self._classes[scope].errors += 1
+        for __, stats in self._scope_pairs[is_read]:
+            stats.errors += 1
 
     def note_retry(self, is_read: bool) -> None:
         """Count one bounded retry attempt against the request classes."""
-        for scope in self._scopes(is_read):
-            self._classes[scope].retries += 1
+        for __, stats in self._scope_pairs[is_read]:
+            stats.retries += 1
 
     def stats(self, scope: str = "all") -> ClassStats:
         """Statistics for ``"all"``, ``"read"`` or ``"write"`` requests."""
@@ -214,4 +231,5 @@ class PerformanceMonitor:
             "write": ClassStats(),
         }
         self._last_arrival_cylinder = {"all": None, "read": None, "write": None}
+        self._bind_scopes()
         return tables

@@ -228,13 +228,21 @@ class Simulation:
         """
         completed_before = len(self.completed)
         dispatched = 0
-        while self.events:
-            next_time = self.events.peek_time()
-            assert next_time is not None
-            if until_ms is not None and next_time > until_ms:
-                break
-            self.bus.dispatch(self.events.pop())
-            dispatched += 1
+        events = self.events
+        heap = events._heap
+        pop = events.pop
+        dispatch = self.bus.dispatch
+        if until_ms is None:
+            # Drain-everything loop: no deadline checks, locals prebound.
+            while heap:
+                dispatch(pop())
+                dispatched += 1
+        else:
+            while heap:
+                if heap[0][0] > until_ms:
+                    break
+                dispatch(pop())
+                dispatched += 1
         self.events_dispatched += dispatched
         return self.completed[completed_before:]
 
@@ -243,7 +251,7 @@ class Simulation:
         """True while requests are in flight or jobs are still scheduled."""
         if any(state.outstanding > 0 for state in self._devices.values()):
             return True
-        return any(True for __ in self.events.pending(_WORK_EVENTS))
+        return self.events.any_pending(_WORK_EVENTS)
 
     # ------------------------------------------------------------------
     # Handlers
@@ -257,8 +265,21 @@ class Simulation:
                 self.now_ms + first_think, StepIssue(job, 0, event.device)
             )
         else:
-            for index in range(len(job.steps)):
-                self._issue_step(job, index, event.device)
+            # Batch admission: all steps arrive at once, so resolve the
+            # device and bulk-update the bookkeeping a single time.  Only
+            # the first strategy call can start the idle disk (yielding a
+            # completion); the rest just queue, exactly as the one-by-one
+            # loop behaved.
+            state = self._devices[event.device]
+            now = self.now_ms
+            strategy = state.driver.strategy
+            request_for = job.request_for
+            count = len(job.steps)
+            state.outstanding += count
+            for index in range(count):
+                completion = strategy(request_for(index, now), now)
+                if completion is not None:
+                    self._schedule_completion(state, completion)
 
     def _on_step_issue(self, event: StepIssue) -> None:
         self._issue_step(event.job, event.index, event.device)

@@ -120,6 +120,19 @@ class EventQueue:
             if kinds is None or isinstance(event, kinds):
                 yield event
 
+    def any_pending(
+        self, kinds: type[SimEvent] | tuple[type[SimEvent], ...]
+    ) -> bool:
+        """True if any scheduled event matches ``kinds``.
+
+        Existence does not depend on firing order, so this scans the heap
+        as-is instead of sorting it the way :meth:`pending` must.
+        """
+        for entry in self._heap:
+            if isinstance(entry[2], kinds):
+                return True
+        return False
+
     def __len__(self) -> int:
         return len(self._heap)
 
