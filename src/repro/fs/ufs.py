@@ -88,6 +88,9 @@ class FileSystem:
             inode_blocks_per_group=self.inode_blocks_per_group,
             interleave=self.interleave,
         )
+        # A directory's own inode block is fixed at creation (group hint
+        # and group layout never change), so the lookup is cacheable.
+        self._dir_inode_cache: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Address translation
@@ -234,6 +237,9 @@ class FileSystem:
         path lookups update their access times, so these blocks are among
         the hottest write targets.
         """
+        block = self._dir_inode_cache.get(name)
+        if block is not None:
+            return block
         try:
             directory = self.directories[name]
         except KeyError:
@@ -241,7 +247,9 @@ class FileSystem:
         group = self._allocator.groups[
             directory.group_hint % self._allocator.num_groups
         ]
-        return self._to_logical(group.inode_block_numbers()[0])
+        block = self._to_logical(group.inode_block_numbers()[0])
+        self._dir_inode_cache[name] = block
+        return block
 
     def metadata_block_of(self, logical_block: int) -> int:
         """The cylinder-group summary block covering ``logical_block``.

@@ -110,6 +110,7 @@ class WorkloadGenerator:
         self._rank_of = self.rng.permutation(len(self._inodes))
         self._probs_dirty = True
         self._probs: np.ndarray | None = None
+        self._cdf: np.ndarray | None = None
         self._last_dir: str | None = None
 
     # ------------------------------------------------------------------
@@ -142,7 +143,25 @@ class WorkloadGenerator:
             probs = self._weights[self._rank_of]
             self._probs = probs / probs.sum()
             self._probs_dirty = False
+            self._cdf = None
         return self._probs
+
+    def _file_cdf(self) -> np.ndarray:
+        """Popularity CDF, cached alongside ``_probs``.
+
+        ``Generator.choice(n, p=probs)`` validates ``p``, cumsums it and
+        inverts the CDF against uniform draws on every call.  Sampling
+        through this cached CDF with ``searchsorted`` consumes the same
+        uniforms in the same order, so the picks and the generator state
+        are bit-identical to ``choice`` — only the per-call setup work
+        disappears.
+        """
+        probs = self._file_probabilities()
+        if self._cdf is None:
+            cdf = probs.cumsum()
+            cdf /= cdf[-1]
+            self._cdf = cdf
+        return self._cdf
 
     def _apply_drift(self) -> None:
         """Exchange popularity ranks among a fraction of the files."""
@@ -272,7 +291,9 @@ class WorkloadGenerator:
                 if total > 0:
                     pick = self.rng.choice(len(indices), p=weights / total)
                     return indices[int(pick)]
-        return int(self.rng.choice(len(self._inodes), p=probs))
+        return int(
+            self._file_cdf().searchsorted(self.rng.random(), side="right")
+        )
 
     def _emit_session(self, when: float, jobs: list[Job]) -> None:
         profile = self.profile
@@ -321,7 +342,7 @@ class WorkloadGenerator:
         if not self.profile.atime_updates:
             return
         index = int(
-            self.rng.choice(len(self._inodes), p=self._file_probabilities())
+            self._file_cdf().searchsorted(self.rng.random(), side="right")
         )
         inode = self._inodes[index]
         self._cache_write(inode.inode_block)
@@ -390,9 +411,8 @@ class WorkloadGenerator:
         if profile.spike_reads > 0:
             # Cron jobs re-read the same configuration/binary files every
             # period, so spike reads follow the file popularity too.
-            probs = self._file_probabilities()
-            picks = self.rng.choice(
-                len(self._inodes), size=profile.spike_reads, p=probs
+            picks = self._file_cdf().searchsorted(
+                self.rng.random(profile.spike_reads), side="right"
             )
             blocks = []
             for index in picks:
