@@ -33,7 +33,7 @@ def make_experiment(plan: FaultPlan, hours: float) -> Experiment:
             profile=SYSTEM_FS_PROFILE.scaled(hours=hours),
             disk="toshiba",
             seed=1993,
-            num_rearranged=64,
+            num_blocks=64,
             faults=plan,
         )
     )

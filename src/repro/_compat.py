@@ -1,0 +1,58 @@
+"""Deprecation shims for renamed keywords (see ``docs/api.md``).
+
+The public surface unified its parameter names — device-name keywords
+are called ``device``, block-count keywords ``num_blocks``, and factory
+lookups take the thing they look up (``disk=``, ``profile=``).  The old
+names keep working for one release but emit :class:`DeprecationWarning`;
+the test suite promotes those warnings to errors, so internal callers
+must use the new names.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+from typing import Any, Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def deprecated_alias(**aliases: str) -> Callable[[F], F]:
+    """Map deprecated keyword names onto their replacements.
+
+    ``@deprecated_alias(old="new")`` makes ``fn(old=x)`` behave as
+    ``fn(new=x)`` after emitting one :class:`DeprecationWarning`.
+    Passing both the old and the new name is a :class:`TypeError`.
+    """
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            for old, new in aliases.items():
+                if old in kwargs:
+                    if new in kwargs:
+                        raise TypeError(
+                            f"{fn.__qualname__}() got both {old!r} "
+                            f"(deprecated) and {new!r}"
+                        )
+                    warnings.warn(
+                        f"{fn.__qualname__}(): keyword {old!r} is "
+                        f"deprecated, use {new!r}",
+                        DeprecationWarning,
+                        stacklevel=2,
+                    )
+                    kwargs[new] = kwargs.pop(old)
+            return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def deprecated_name(old: str, new: str) -> None:
+    """Emit the standard warning for a deprecated attribute or method."""
+    warnings.warn(
+        f"{old} is deprecated, use {new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )

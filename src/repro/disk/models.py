@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from .._compat import deprecated_alias
 from .geometry import DiskGeometry
 from .seek import SeekCurve, SeekModel
 
@@ -94,10 +95,11 @@ DISK_MODELS = {
 }
 
 
-def disk_model(name: str) -> DiskModel:
+@deprecated_alias(name="disk")
+def disk_model(disk: str) -> DiskModel:
     """Look up a preset by short name (``"toshiba"`` or ``"fujitsu"``)."""
     try:
-        return DISK_MODELS[name.lower()]
+        return DISK_MODELS[disk.lower()]
     except KeyError:
         known = ", ".join(sorted(DISK_MODELS))
-        raise KeyError(f"unknown disk model {name!r}; known: {known}") from None
+        raise KeyError(f"unknown disk model {disk!r}; known: {known}") from None

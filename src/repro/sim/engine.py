@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
+from .._compat import deprecated_alias
 from ..driver.protocol import DeviceDriver
 from ..driver.request import DiskRequest
 from ..obs.tracer import NULL_TRACER, Tracer
@@ -99,7 +100,7 @@ class Simulation:
         if driver is not None:
             self.add_device(driver)
         for name, drv in (drivers or {}).items():
-            self.add_device(drv, name=name)
+            self.add_device(drv, device=name)
 
     @property
     def now_ms(self) -> float:
@@ -109,16 +110,18 @@ class Simulation:
     # Devices
     # ------------------------------------------------------------------
 
+    @deprecated_alias(name="device")
     def add_device(
-        self, driver: DeviceDriver, name: str | None = None
+        self, driver: DeviceDriver, device: str | None = None
     ) -> DeviceState:
-        """Register a driver under ``name`` (default: the driver's own).
+        """Register a driver under ``device`` (default: the driver's own
+        name).
 
         The registered name becomes the driver's ``name`` so that tracer
         events are labeled consistently, and the engine's tracer is
         installed on the driver unless one was set explicitly.
         """
-        device = name or getattr(driver, "name", None) or DEFAULT_DEVICE
+        device = device or getattr(driver, "name", None) or DEFAULT_DEVICE
         if device in self._devices:
             raise ValueError(f"device {device!r} is already registered")
         if getattr(driver, "name", None) != device:

@@ -26,6 +26,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence, TypeVar
 
+from .._compat import deprecated_alias, deprecated_name
 from ..core.analyzer import ReferenceStreamAnalyzer
 from ..core.arranger import BlockArranger
 from ..core.controller import RearrangementController
@@ -54,7 +55,7 @@ class ExperimentConfig:
     profile: WorkloadProfile
     disk: str = "toshiba"
     reserved_cylinders: int | None = None  # default: the paper's choice
-    num_rearranged: int | None = None  # default: the paper's choice
+    num_blocks: int | None = None  # blocks rearranged nightly; default: paper
     placement_policy: str = "organ-pipe"
     queue_policy: str = "scan"
     analyzer_capacity: int | None = None
@@ -71,10 +72,31 @@ class ExperimentConfig:
             return self.reserved_cylinders
         return PAPER_RESERVED_CYLINDERS[self.disk]
 
-    def resolved_num_rearranged(self) -> int:
-        if self.num_rearranged is not None:
-            return self.num_rearranged
+    def resolved_num_blocks(self) -> int:
+        if self.num_blocks is not None:
+            return self.num_blocks
         return PAPER_REARRANGED_BLOCKS[self.disk]
+
+    # -- deprecated names (block-count keywords are ``num_blocks`` now) --
+
+    @property
+    def num_rearranged(self) -> int | None:
+        deprecated_name(
+            "ExperimentConfig.num_rearranged", "ExperimentConfig.num_blocks"
+        )
+        return self.num_blocks
+
+    def resolved_num_rearranged(self) -> int:
+        deprecated_name(
+            "ExperimentConfig.resolved_num_rearranged()",
+            "ExperimentConfig.resolved_num_blocks()",
+        )
+        return self.resolved_num_blocks()
+
+
+ExperimentConfig.__init__ = deprecated_alias(num_rearranged="num_blocks")(
+    ExperimentConfig.__init__
+)
 
 
 @dataclass
@@ -234,7 +256,7 @@ class Experiment:
         blocks = (
             num_blocks_tomorrow
             if num_blocks_tomorrow is not None
-            else self.config.resolved_num_rearranged()
+            else self.config.resolved_num_blocks()
         )
         if keep_arrangement:
             self.controller.final_poll()

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .._compat import deprecated_alias, deprecated_name
 from ..core.analyzer import ReferenceStreamAnalyzer
 from ..core.arranger import BlockArranger
 from ..core.controller import RearrangementController
@@ -65,12 +66,13 @@ class MultiFSDayResult:
 class MultiFSExperiment:
     """One disk, one reserved area, several file systems."""
 
+    @deprecated_alias(num_rearranged="num_blocks")
     def __init__(
         self,
         specs: list[FileSystemSpec],
         disk: str = "toshiba",
         reserved_cylinders: int | None = None,
-        num_rearranged: int | None = None,
+        num_blocks: int | None = None,
         placement_policy: str = "organ-pipe",
         queue_policy: str = "scan",
         tracer: Tracer = NULL_TRACER,
@@ -88,9 +90,9 @@ class MultiFSExperiment:
             if reserved_cylinders is not None
             else PAPER_RESERVED_CYLINDERS[disk]
         )
-        self.num_rearranged = (
-            num_rearranged
-            if num_rearranged is not None
+        self.num_blocks = (
+            num_blocks
+            if num_blocks is not None
             else PAPER_REARRANGED_BLOCKS[disk]
         )
         self.label = DiskLabel(self.model.geometry, reserved_cylinders=reserved)
@@ -134,6 +136,13 @@ class MultiFSExperiment:
                 return partition
         return None
 
+    @property
+    def num_rearranged(self) -> int:
+        deprecated_name(
+            "MultiFSExperiment.num_rearranged", "MultiFSExperiment.num_blocks"
+        )
+        return self.num_blocks
+
     def run_day(
         self, rearranged: bool, rearrange_tomorrow: bool
     ) -> MultiFSDayResult:
@@ -171,7 +180,7 @@ class MultiFSExperiment:
         self.controller.end_of_day(
             now_ms=simulation.now_ms,
             rearrange_tomorrow=rearrange_tomorrow,
-            num_blocks=self.num_rearranged,
+            num_blocks=self.num_blocks,
         )
         return MultiFSDayResult(
             metrics=metrics,
@@ -195,9 +204,19 @@ class DiskSpec:
     name: str | None = None  # device name; default "<model><index>"
     seed: int = 1993
     reserved_cylinders: int | None = None  # default: the paper's choice
-    num_rearranged: int | None = None  # default: the paper's choice
+    num_blocks: int | None = None  # rearranged nightly; default: paper
     placement_policy: str = "organ-pipe"
     queue_policy: str = "scan"
+
+    @property
+    def num_rearranged(self) -> int | None:
+        deprecated_name("DiskSpec.num_rearranged", "DiskSpec.num_blocks")
+        return self.num_blocks
+
+
+DiskSpec.__init__ = deprecated_alias(num_rearranged="num_blocks")(
+    DiskSpec.__init__
+)
 
 
 @dataclass
@@ -210,7 +229,7 @@ class _DiskRig:
     ioctl: IoctlInterface
     controller: RearrangementController
     generator: WorkloadGenerator
-    num_rearranged: int
+    num_blocks: int
 
 
 @dataclass
@@ -286,9 +305,9 @@ class MultiDiskExperiment:
                 ioctl=ioctl,
                 controller=controller,
                 generator=generator,
-                num_rearranged=(
-                    spec.num_rearranged
-                    if spec.num_rearranged is not None
+                num_blocks=(
+                    spec.num_blocks
+                    if spec.num_blocks is not None
                     else PAPER_REARRANGED_BLOCKS[spec.disk]
                 ),
             )
@@ -332,7 +351,7 @@ class MultiDiskExperiment:
             rig.controller.end_of_day(
                 now_ms=end_of_day,
                 rearrange_tomorrow=rearrange_tomorrow,
-                num_blocks=rig.num_rearranged,
+                num_blocks=rig.num_blocks,
             )
         return MultiDiskDayResult(
             per_device=per_device,

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from .._compat import deprecated_alias
+
 
 @dataclass(frozen=True)
 class WorkloadProfile:
@@ -190,7 +192,8 @@ PROFILES = {
 }
 
 
-def profile_for_disk(base: WorkloadProfile, disk: str) -> WorkloadProfile:
+@deprecated_alias(base="profile")
+def profile_for_disk(profile: WorkloadProfile, disk: str) -> WorkloadProfile:
     """Adapt a preset profile to the disk it runs on, as the paper did.
 
     The Fujitsu experiments served more data and users than the Toshiba
@@ -199,16 +202,16 @@ def profile_for_disk(base: WorkloadProfile, disk: str) -> WorkloadProfile:
     profile names are returned unchanged.
     """
     disk = disk.lower()
-    if base.name == "system" and disk == "fujitsu":
+    if profile.name == "system" and disk == "fujitsu":
         return replace(
-            base,
+            profile,
             num_directories=30,
-            read_sessions_per_hour=base.read_sessions_per_hour * 1.5,
-            open_sessions_per_hour=base.open_sessions_per_hour * 1.5,
+            read_sessions_per_hour=profile.read_sessions_per_hour * 1.5,
+            open_sessions_per_hour=profile.open_sessions_per_hour * 1.5,
         )
-    if base.name == "users" and disk == "toshiba":
-        return replace(base, num_directories=10)
-    return base
+    if profile.name == "users" and disk == "toshiba":
+        return replace(profile, num_directories=10)
+    return profile
 
 
 def profile(name: str) -> WorkloadProfile:

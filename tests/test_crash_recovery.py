@@ -49,7 +49,7 @@ def fast_config(faults=None, **kwargs):
         profile=SYSTEM_FS_PROFILE.scaled(hours=0.2),
         disk="toshiba",
         seed=3,
-        num_rearranged=16,
+        num_blocks=16,
         faults=faults,
     )
     defaults.update(kwargs)

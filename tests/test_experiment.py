@@ -47,15 +47,15 @@ class TestConfig:
     def test_paper_defaults(self):
         config = fast_config()
         assert config.resolved_reserved_cylinders() == 48
-        assert config.resolved_num_rearranged() == 1018
+        assert config.resolved_num_blocks() == 1018
         fuji = fast_config(disk="fujitsu")
         assert fuji.resolved_reserved_cylinders() == 80
-        assert fuji.resolved_num_rearranged() == 3500
+        assert fuji.resolved_num_blocks() == 3500
 
     def test_overrides(self):
-        config = fast_config(reserved_cylinders=10, num_rearranged=50)
+        config = fast_config(reserved_cylinders=10, num_blocks=50)
         assert config.resolved_reserved_cylinders() == 10
-        assert config.resolved_num_rearranged() == 50
+        assert config.resolved_num_blocks() == 50
 
 
 class TestCampaign:

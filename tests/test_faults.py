@@ -304,7 +304,7 @@ def fault_config(faults, hours=0.2, **kwargs):
         profile=SYSTEM_FS_PROFILE.scaled(hours=hours),
         disk="toshiba",
         seed=3,
-        num_rearranged=64,
+        num_blocks=64,
         faults=faults,
     )
     defaults.update(kwargs)

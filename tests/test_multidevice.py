@@ -90,7 +90,7 @@ class TestDeviceRegistry:
     def test_duplicate_name_rejected(self):
         simulation = Simulation(FixedLatencyDriver(1.0, name="a"))
         with pytest.raises(ValueError):
-            simulation.add_device(FixedLatencyDriver(1.0), name="a")
+            simulation.add_device(FixedLatencyDriver(1.0), device="a")
 
     def test_driver_property_ambiguous_with_two_devices(self):
         simulation = Simulation(
