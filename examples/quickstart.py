@@ -12,7 +12,7 @@ Usage::
 
 import sys
 
-from repro import ExperimentConfig, SYSTEM_FS_PROFILE, run_onoff_campaign
+from repro.api import make_config, run_campaign
 from repro.stats import render_day, render_onoff_table, summarize_on_off
 
 
@@ -21,13 +21,9 @@ def main() -> None:
 
     # A two-hour measurement day keeps the demo quick; use the full
     # profile (15 h days) for paper-fidelity numbers.
-    config = ExperimentConfig(
-        profile=SYSTEM_FS_PROFILE.scaled(hours=2.0),
-        disk=disk,
-        seed=2026,
-    )
+    config = make_config("system", disk, hours=2.0, seed=2026)
     print(f"Simulating 4 alternating days on the {disk} disk...")
-    result = run_onoff_campaign(config, days=4)
+    result = run_campaign(config, days=4)
 
     for day in result.days:
         print(render_day(day.metrics, disk))

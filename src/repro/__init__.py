@@ -6,19 +6,27 @@ request stream, estimates block reference frequencies, and copies the
 hottest blocks into reserved cylinders near the middle of the disk
 (organ-pipe layout) to cut seek times.
 
-Quickstart::
+Quickstart — the stable facade is :mod:`repro.api`::
 
-    from repro import ExperimentConfig, SYSTEM_FS_PROFILE, run_onoff_campaign
+    from repro.api import run_campaign
     from repro.stats import summarize_on_off
 
-    config = ExperimentConfig(profile=SYSTEM_FS_PROFILE.scaled(hours=1.0),
-                              disk="toshiba")
-    result = run_onoff_campaign(config, days=4)
+    result = run_campaign(profile="system", disk="toshiba",
+                          hours=1.0, days=4)
     summary = summarize_on_off(result.metrics())
     print(f"seek time reduction: {summary.seek_reduction:.0%}")
 
 Subpackages
 -----------
+
+``repro.api``
+    The supported entry points: ``simulate_day``, ``run_campaign``,
+    ``run_bench``.  Import from here in scripts; the deeper module
+    layout may shift between releases, this surface will not.
+``repro.bench``
+    The performance suite behind ``python -m repro bench``: deterministic
+    scenarios, wall-clock/events-per-second reports, metrics digests and
+    the committed-baseline regression gate.
 
 ``repro.core``
     The paper's contribution: reference stream analyzer, hot block list,
@@ -46,6 +54,7 @@ Subpackages
     Histograms, per-day metrics, and paper-style table rendering.
 """
 
+from . import api
 from .core import (
     BlockArranger,
     HotBlock,
@@ -105,6 +114,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveDiskDriver",
+    "api",
     "BlockArranger",
     "BlockTable",
     "BlockTableInvariants",

@@ -1,0 +1,142 @@
+"""Stable, typed entry points — the supported public surface.
+
+Scripts and notebooks should import from here::
+
+    from repro.api import simulate_day, run_campaign, run_bench
+
+    day = simulate_day(hours=0.25, rearranged=True)
+    print(day.metrics.mean_seek_time_ms("all"))
+
+Deep imports (``repro.sim.experiment`` and friends) keep working, but
+their layout may shift between releases, and renamed keywords go through
+a one-release :class:`DeprecationWarning` cycle (see ``docs/api.md``).
+The names in this module's ``__all__`` do not break.
+
+Every function returns the library's typed result objects —
+:class:`~repro.sim.experiment.DayResult`,
+:class:`~repro.sim.experiment.CampaignResult` and
+:class:`~repro.bench.runner.BenchReport` — never bare dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .bench import BenchReport, get_scenarios, run_suite
+from .obs.tracer import NULL_TRACER, Tracer
+from .sim.experiment import (
+    CampaignResult,
+    DayResult,
+    Experiment,
+    ExperimentConfig,
+    alternating_schedule,
+)
+from .sim.experiment import run_campaign as _run_campaign
+from .workload.profiles import PROFILES, WorkloadProfile
+
+__all__ = [
+    "BenchReport",
+    "CampaignResult",
+    "DayResult",
+    "ExperimentConfig",
+    "make_config",
+    "run_bench",
+    "run_campaign",
+    "simulate_day",
+]
+
+
+def make_config(
+    profile: str | WorkloadProfile = "system",
+    disk: str = "toshiba",
+    *,
+    hours: float | None = None,
+    seed: int = 1993,
+    **overrides: object,
+) -> ExperimentConfig:
+    """Build an :class:`ExperimentConfig` from short names.
+
+    ``profile`` is a preset name (``"system"`` or ``"users"``) or a full
+    :class:`WorkloadProfile`; ``hours`` shortens the simulated day (the
+    paper's days are 15 h — 0.1 to 0.25 keeps a day under a second).
+    Any remaining keywords pass through to :class:`ExperimentConfig`
+    unchanged (``num_blocks=``, ``placement_policy=``, ``faults=``, ...).
+    """
+    if isinstance(profile, str):
+        try:
+            profile = PROFILES[profile]
+        except KeyError:
+            known = ", ".join(sorted(PROFILES))
+            raise KeyError(
+                f"unknown profile {profile!r}; known: {known}"
+            ) from None
+    if hours is not None:
+        profile = profile.scaled(hours)
+    return ExperimentConfig(profile=profile, disk=disk, seed=seed, **overrides)
+
+
+def simulate_day(
+    config: ExperimentConfig | None = None,
+    *,
+    rearranged: bool = False,
+    profile: str | WorkloadProfile = "system",
+    disk: str = "toshiba",
+    hours: float | None = None,
+    seed: int = 1993,
+    tracer: Tracer = NULL_TRACER,
+) -> DayResult:
+    """Simulate one measurement day and return its :class:`DayResult`.
+
+    With ``rearranged=True`` a training (off) day runs first — the paper
+    needs one day of reference counts before blocks can move — and the
+    second, rearranged day is returned.  Pass a ``config`` for full
+    control, or the ``profile``/``disk``/``hours``/``seed`` shorthand.
+    """
+    if config is None:
+        config = make_config(profile, disk, hours=hours, seed=seed)
+    experiment = Experiment(config, tracer=tracer)
+    if rearranged:
+        experiment.run_day(rearranged=False, rearrange_tomorrow=True)
+        return experiment.run_day(rearranged=True, rearrange_tomorrow=False)
+    return experiment.run_day(rearranged=False, rearrange_tomorrow=False)
+
+
+def run_campaign(
+    config: ExperimentConfig | None = None,
+    *,
+    days: int = 4,
+    schedule: Sequence[bool] | None = None,
+    profile: str | WorkloadProfile = "system",
+    disk: str = "toshiba",
+    hours: float | None = None,
+    seed: int = 1993,
+    tracer: Tracer = NULL_TRACER,
+) -> CampaignResult:
+    """Run a multi-day campaign and return its :class:`CampaignResult`.
+
+    Without an explicit ``schedule`` the campaign alternates off/on days
+    over ``days`` days (the paper's Tables 2–6 shape).  ``schedule`` is a
+    per-day list of "rearranged today" flags; day 0 must be ``False``.
+    """
+    if config is None:
+        config = make_config(profile, disk, hours=hours, seed=seed)
+    if schedule is None:
+        schedule = alternating_schedule(days)
+    return _run_campaign(config, list(schedule), tracer=tracer)
+
+
+def run_bench(
+    scenarios: Sequence[str] | None = None,
+    *,
+    quick: bool = False,
+    repeat: int = 1,
+) -> list[BenchReport]:
+    """Run the benchmark suite; one :class:`BenchReport` per scenario.
+
+    ``scenarios`` selects by name (``None`` runs the whole suite);
+    ``quick`` shrinks the simulated days for CI; ``repeat`` keeps the
+    best wall-clock of N runs and verifies the metrics digest does not
+    change between them.  See ``docs/benchmarking.md``.
+    """
+    selected = get_scenarios(list(scenarios) if scenarios else None)
+    return run_suite(selected, quick=quick, repeat=repeat)

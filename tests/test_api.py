@@ -1,0 +1,207 @@
+"""The ``repro.api`` facade, the keyword-rename shims, and the
+seek lookup table's equivalence to the piecewise models."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import make_config, run_bench, run_campaign, simulate_day
+from repro.disk.disk import Disk
+from repro.disk.models import FUJITSU_M2266, TOSHIBA_MK156F, disk_model
+from repro.sim import ExperimentConfig, Simulation, run_onoff_campaign
+from repro.sim.multifs import DiskSpec
+from repro.workload.profiles import SYSTEM_FS_PROFILE, profile_for_disk
+
+
+def fast_config(**overrides):
+    return make_config("system", hours=0.05, **overrides)
+
+
+class TestFacade:
+    def test_package_exports_api(self):
+        assert "api" in repro.__all__
+        assert repro.api.simulate_day is simulate_day
+
+    def test_simulate_day_off(self):
+        day = simulate_day(hours=0.05)
+        assert not day.metrics.rearranged
+        assert day.workload_requests > 0
+
+    def test_simulate_day_rearranged_runs_training_day_first(self):
+        day = simulate_day(hours=0.05, rearranged=True)
+        assert day.metrics.rearranged
+        assert day.rearranged_blocks > 0
+
+    def test_run_campaign_matches_legacy_onoff(self):
+        config = fast_config()
+        facade = run_campaign(config, days=4)
+        legacy = run_onoff_campaign(config, days=4)
+        assert [d.metrics.rearranged for d in facade.days] == [
+            d.metrics.rearranged for d in legacy.days
+        ]
+        assert [repr(d.metrics) for d in facade.days] == [
+            repr(d.metrics) for d in legacy.days
+        ]
+
+    def test_run_campaign_shorthand_builds_config(self):
+        result = run_campaign(profile="system", hours=0.05, days=2)
+        assert result.config.disk == "toshiba"
+        assert len(result.days) == 2
+
+    def test_run_campaign_explicit_schedule(self):
+        result = run_campaign(fast_config(), schedule=[False, True, True])
+        assert [d.metrics.rearranged for d in result.days] == [
+            False,
+            True,
+            True,
+        ]
+
+    def test_make_config_rejects_unknown_profile(self):
+        with pytest.raises(KeyError, match="unknown profile"):
+            make_config("vax")
+
+    def test_make_config_passes_overrides_through(self):
+        config = make_config("users", "fujitsu", num_blocks=123)
+        assert config.num_blocks == 123
+        assert config.disk == "fujitsu"
+
+    def test_run_bench_returns_typed_reports(self):
+        (report,) = run_bench(["fault_stress"], quick=True)
+        assert report.scenario == "fault_stress"
+        assert report.mode == "quick"
+        assert report.metrics_digest.startswith("sha256:")
+        assert report.events_per_sec > 0
+
+    def test_run_bench_unknown_scenario(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            run_bench(["warp_drive"], quick=True)
+
+
+class TestDeprecatedAliases:
+    """Every renamed keyword keeps working but warns exactly once."""
+
+    def _sole_warning(self, record):
+        assert len(record) == 1, [str(w.message) for w in record]
+        assert issubclass(record[0].category, DeprecationWarning)
+        return str(record[0].message)
+
+    def test_experiment_config_num_rearranged_kwarg(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            config = ExperimentConfig(
+                profile=SYSTEM_FS_PROFILE, num_rearranged=64
+            )
+        assert "num_blocks" in self._sole_warning(record)
+        assert config.num_blocks == 64
+
+    def test_experiment_config_num_rearranged_property(self):
+        config = ExperimentConfig(profile=SYSTEM_FS_PROFILE, num_blocks=64)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            assert config.num_rearranged == 64
+        self._sole_warning(record)
+
+    def test_experiment_config_resolved_num_rearranged(self):
+        config = ExperimentConfig(profile=SYSTEM_FS_PROFILE)
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            assert config.resolved_num_rearranged() == 1018
+        self._sole_warning(record)
+
+    def test_both_old_and_new_keyword_is_an_error(self):
+        with pytest.raises(TypeError, match="deprecated"):
+            ExperimentConfig(
+                profile=SYSTEM_FS_PROFILE, num_rearranged=1, num_blocks=2
+            )
+
+    def test_disk_model_name_kwarg(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            assert disk_model(name="toshiba") is TOSHIBA_MK156F
+        assert "disk" in self._sole_warning(record)
+
+    def test_profile_for_disk_base_kwarg(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            adapted = profile_for_disk(base=SYSTEM_FS_PROFILE, disk="fujitsu")
+        assert "profile" in self._sole_warning(record)
+        assert adapted.num_directories == 30
+
+    def test_add_device_name_kwarg(self):
+        from tests.test_multidevice import FixedLatencyDriver
+
+        simulation = Simulation()
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            state = simulation.add_device(FixedLatencyDriver(1.0), name="a")
+        assert "device" in self._sole_warning(record)
+        assert state.name == "a"
+
+    def test_disk_spec_num_rearranged_kwarg(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            spec = DiskSpec(
+                disk="toshiba", profile=SYSTEM_FS_PROFILE, num_rearranged=7
+            )
+        self._sole_warning(record)
+        assert spec.num_blocks == 7
+
+    def test_new_names_do_not_warn(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            config = ExperimentConfig(profile=SYSTEM_FS_PROFILE, num_blocks=5)
+            disk_model(disk="toshiba")
+            profile_for_disk(profile=SYSTEM_FS_PROFILE, disk="toshiba")
+            config.resolved_num_blocks()
+        assert record == []
+
+
+class TestSeekLookupTable:
+    """The precomputed per-disk seek table must equal the piecewise
+    model bit-for-bit at every cylinder delta — this is what licenses
+    replacing the model call on the access hot path."""
+
+    @pytest.mark.parametrize("model", [TOSHIBA_MK156F, FUJITSU_M2266])
+    def test_table_matches_piecewise_model_at_every_delta(self, model):
+        disk = Disk(model)
+        table = disk._seek_table
+        assert len(table) == model.geometry.cylinders
+        for delta in range(model.geometry.cylinders):
+            assert table[delta] == model.seek.time(delta), delta
+
+    @pytest.mark.parametrize("model", [TOSHIBA_MK156F, FUJITSU_M2266])
+    def test_zero_delta_is_free(self, model):
+        assert Disk(model)._seek_table[0] == 0.0
+
+
+class TestCdfSamplerEquivalence:
+    """The workload generator samples file popularity through a cached
+    CDF + searchsorted instead of Generator.choice.  Both must consume
+    the identical uniforms and return the identical picks, or workload
+    streams (and every digest) would silently change."""
+
+    def test_scalar_draws_match_choice(self):
+        probs = np.arange(1.0, 41.0)
+        probs /= probs.sum()
+        a, b = np.random.default_rng(42), np.random.default_rng(42)
+        cdf = probs.cumsum()
+        cdf /= cdf[-1]
+        for _ in range(500):
+            assert int(a.choice(len(probs), p=probs)) == int(
+                cdf.searchsorted(b.random(), side="right")
+            )
+        assert a.bit_generator.state == b.bit_generator.state
+
+    def test_vector_draws_match_choice(self):
+        probs = np.arange(1.0, 41.0)
+        probs /= probs.sum()
+        a, b = np.random.default_rng(7), np.random.default_rng(7)
+        cdf = probs.cumsum()
+        cdf /= cdf[-1]
+        for size in (1, 5, 40):
+            want = a.choice(len(probs), size=size, p=probs)
+            got = cdf.searchsorted(b.random(size), side="right")
+            assert np.array_equal(want, got)
+        assert a.bit_generator.state == b.bit_generator.state
