@@ -45,6 +45,10 @@ Subpackages
 ``repro.workload``
     Calibrated synthetic workloads for the paper's *system* and *users*
     file systems, with multi-day drift.
+``repro.traces``
+    Real-world block-trace ingestion and replay: streaming blkparse/MSR
+    parsers, address mapping onto the simulated disk, time rescaling,
+    and trace characterization (``repro ingest`` / ``repro replay``).
 ``repro.faults``
     Deterministic fault injection: transient/media errors, scheduled
     crashes, and the block-table invariant checker.
@@ -54,7 +58,7 @@ Subpackages
     Histograms, per-day metrics, and paper-style table rendering.
 """
 
-from . import api
+from . import api, traces
 from .core import (
     BlockArranger,
     HotBlock,
@@ -158,4 +162,5 @@ __all__ = [
     "run_onoff_campaign",
     "run_policy_campaign",
     "summarize_on_off",
+    "traces",
 ]

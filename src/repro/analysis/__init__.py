@@ -2,8 +2,19 @@
 
 :mod:`organpipe` carries the Wong/Grossman expected-seek machinery behind
 the paper's placement heuristic; :mod:`characterize` reduces workloads to
-the statistics Section 5 reasons with."""
+the statistics Section 5 reasons with.  The trace-side characterizer
+(:class:`~repro.traces.characterize.TraceCharacter` and friends) is
+re-exported here so generated and ingested workloads are analyzed from
+one namespace; an ingested trace's :meth:`~repro.traces.ingest.
+IngestResult.workload` feeds :func:`characterize` and
+:func:`cylinder_reference_distribution` directly."""
 
+from ..traces.characterize import (
+    TraceCharacter,
+    characterize_records,
+    matching_profile,
+    render_trace_character,
+)
 from .characterize import (
     WorkloadCharacter,
     characterize,
@@ -21,15 +32,19 @@ from .organpipe import (
 )
 
 __all__ = [
+    "TraceCharacter",
     "WorkloadCharacter",
     "arrange",
     "characterize",
+    "characterize_records",
     "cylinder_reference_distribution",
+    "matching_profile",
     "expected_seek_distance",
     "expected_seek_distance_organ_pipe",
     "expected_seek_time",
     "normalize",
     "organ_pipe_arrangement",
     "render_character",
+    "render_trace_character",
     "zero_seek_probability",
 ]

@@ -14,13 +14,16 @@ The names in this module's ``__all__`` do not break.
 
 Every function returns the library's typed result objects —
 :class:`~repro.sim.experiment.DayResult`,
-:class:`~repro.sim.experiment.CampaignResult` and
-:class:`~repro.bench.runner.BenchReport` — never bare dicts.
+:class:`~repro.sim.experiment.CampaignResult`,
+:class:`~repro.bench.runner.BenchReport` and
+:class:`~repro.traces.replay.TraceReplayResult` — never bare dicts.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
+
+from pathlib import Path
 
 from .bench import BenchReport, get_scenarios, run_suite
 from .obs.tracer import NULL_TRACER, Tracer
@@ -32,6 +35,9 @@ from .sim.experiment import (
     alternating_schedule,
 )
 from .sim.experiment import run_campaign as _run_campaign
+from .traces.ingest import ingest_trace
+from .traces.replay import TraceReplayResult, replay_jobs
+from .traces.rescale import DEFAULT_GAP_MS
 from .workload.profiles import PROFILES, WorkloadProfile
 
 __all__ = [
@@ -39,7 +45,9 @@ __all__ = [
     "CampaignResult",
     "DayResult",
     "ExperimentConfig",
+    "TraceReplayResult",
     "make_config",
+    "replay_trace",
     "run_bench",
     "run_campaign",
     "simulate_day",
@@ -123,6 +131,62 @@ def run_campaign(
     if schedule is None:
         schedule = alternating_schedule(days)
     return _run_campaign(config, list(schedule), tracer=tracer)
+
+
+def replay_trace(
+    source: str | Path,
+    *,
+    format: str = "auto",
+    mapping: str = "compact",
+    disk: str = "toshiba",
+    time_scale: float = 1.0,
+    loop: str = "open",
+    gap_ms: float = DEFAULT_GAP_MS,
+    queue: str = "scan",
+    rearrange: bool = False,
+    num_blocks: int | None = None,
+    limit: int | None = None,
+    target_blocks: int | None = None,
+    source_span: int | None = None,
+    tracer: Tracer = NULL_TRACER,
+) -> TraceReplayResult:
+    """Ingest a raw block trace and replay it through the driver.
+
+    ``source`` is a blkparse text file or an MSR-Cambridge-style CSV
+    (``format="auto"`` sniffs).  The trace's addresses are mapped onto
+    ``disk`` with the given ``mapping`` strategy, its timing is rescaled
+    by ``time_scale`` and converted per ``loop``, and the resulting jobs
+    run through a fresh adaptive driver.  With ``rearrange=True`` the
+    replay is pre-trained on the trace itself first.  The returned
+    :class:`TraceReplayResult` carries the day's
+    :class:`~repro.stats.metrics.DayMetrics` plus the ingest stage's
+    output (``.ingest`` — jobs, trace character, mapping facts).
+
+    Deterministic end to end: the same file and options produce
+    bit-identical metrics on every run.  See ``docs/traces.md``.
+    """
+    ingested = ingest_trace(
+        source,
+        format=format,
+        mapping=mapping,
+        disk=disk,
+        target_blocks=target_blocks,
+        source_span=source_span,
+        time_scale=time_scale,
+        loop=loop,
+        gap_ms=gap_ms,
+        limit=limit,
+    )
+    result = replay_jobs(
+        ingested.jobs,
+        disk=disk,
+        queue=queue,
+        rearrange=rearrange,
+        num_blocks=num_blocks,
+        tracer=tracer,
+    )
+    result.ingest = ingested
+    return result
 
 
 def run_bench(

@@ -19,6 +19,13 @@ Three scenarios cover the simulator's hot paths from three angles:
     a crash between nightly block moves.  Keeps the error paths honest and
     times them.
 
+``trace_replay``
+    The real-trace pipeline end to end: the bundled blkparse and MSR
+    fixture traces are ingested (parse -> map -> rescale) and replayed
+    through fresh drivers, repeatedly.  Times the ``repro.traces``
+    subsystem and pins its metrics digest — ingest and replay are pure
+    functions of the fixture bytes, so the digest must never move.
+
 Every scenario is deterministic: fixed seeds, fixed day lengths per mode.
 ``quick`` mode shrinks the simulated day so CI can afford the suite; the
 digests of quick and full runs differ (different workloads) but each is
@@ -175,6 +182,57 @@ def _fault_stress(quick: bool) -> ScenarioResult:
     return result
 
 
+def _trace_replay(quick: bool) -> ScenarioResult:
+    from ..traces import fixture_path, ingest_trace, replay_jobs
+
+    iterations = 8 if quick else 60
+    blkparse_fixture = fixture_path("sample.blkparse")
+    msr_fixture = fixture_path("sample.msr.csv")
+    payload: dict[str, Any] = {"iterations": iterations}
+    events = 0
+    requests = 0
+    for index in range(iterations):
+        blk = ingest_trace(
+            blkparse_fixture, mapping="compact", loop="open"
+        )
+        blk_replay = replay_jobs(blk.jobs, disk="toshiba", rearrange=True)
+        msr = ingest_trace(
+            msr_fixture,
+            mapping="linear",
+            loop="closed",
+            disk="fujitsu",
+            time_scale=0.5,
+        )
+        msr_replay = replay_jobs(msr.jobs, disk="fujitsu")
+        events += blk_replay.events + msr_replay.events
+        requests += blk_replay.requests + msr_replay.requests
+        if index == 0:
+            payload["blkparse"] = {
+                "metrics": day_metrics_payload(blk_replay.metrics),
+                "jobs": len(blk.jobs),
+                "requests": blk_replay.requests,
+                "rearranged_blocks": blk_replay.rearranged_blocks,
+                "working_set_blocks": blk.working_set_blocks,
+                "sequential_fraction": blk.character.sequential_fraction,
+            }
+            payload["msr"] = {
+                "metrics": day_metrics_payload(msr_replay.metrics),
+                "jobs": len(msr.jobs),
+                "requests": msr_replay.requests,
+                "working_set_blocks": msr.working_set_blocks,
+                "zipf_exponent": msr.character.zipf_exponent,
+            }
+    return ScenarioResult(
+        payload=payload,
+        events=events,
+        requests=requests,
+        detail={
+            "fixtures": [blkparse_fixture.name, msr_fixture.name],
+            "iterations": iterations,
+        },
+    )
+
+
 SCENARIOS: dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (
@@ -192,6 +250,11 @@ SCENARIOS: dict[str, Scenario] = {
             "fault_stress",
             "standard day under transient/media faults and crashes",
             _fault_stress,
+        ),
+        Scenario(
+            "trace_replay",
+            "ingest + replay of the bundled blkparse/MSR fixture traces",
+            _trace_replay,
         ),
     )
 }

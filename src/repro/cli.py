@@ -6,9 +6,15 @@ Subcommands::
     python -m repro policies --disk toshiba --days 3 --workers 3
     python -m repro sweep    --disk toshiba --counts 10,50,100,1018
     python -m repro workload --profile system --out day0.trace
+    python -m repro ingest   server.blktrace --mapping compact --out day0.trace
     python -m repro replay   day0.trace --disk toshiba [--rearrange]
     python -m repro trace    run.jsonl --disk toshiba
     python -m repro bench    [--quick] [--compare BASELINE.json]
+
+``ingest`` converts a raw external block trace (blkparse text output or
+MSR-Cambridge-style CSV) into the internal trace format that ``replay``
+consumes — the full real-trace pipeline needs no Python at all.  See
+``docs/traces.md`` for formats, mapping strategies and rescaling.
 
 All commands accept ``--hours`` to shorten the measurement day (the paper
 used 15-hour days) and ``--seed`` for reproducibility.  ``onoff`` and
@@ -25,18 +31,10 @@ import sys
 from dataclasses import replace
 
 from .analysis.characterize import characterize, render_character
-from .core.analyzer import ReferenceStreamAnalyzer
-from .core.arranger import BlockArranger
-from .core.hotlist import HotBlockList
-from .disk.disk import Disk
 from .disk.label import DiskLabel
 from .disk.models import disk_model
-from .driver.driver import AdaptiveDiskDriver
-from .driver.ioctl import IoctlInterface
-from .driver.queue import make_queue
 from .faults.spec import FaultSpecError, parse_fault_spec
 from .obs import NULL_TRACER, JsonlTraceWriter, replay_day_metrics
-from .sim.engine import Simulation
 from .sim.experiment import (
     ExperimentConfig,
     run_block_count_sweep,
@@ -177,39 +175,87 @@ def cmd_workload(args) -> int:
     return 0
 
 
-def cmd_replay(args) -> int:
-    jobs = load_trace(args.trace)
-    model = disk_model(args.disk)
-    label = DiskLabel(model.geometry, reserved_cylinders=48)
-    driver = AdaptiveDiskDriver(
-        disk=Disk(model), label=label, queue=make_queue(args.queue)
+def cmd_ingest(args) -> int:
+    from .traces import (
+        TraceParseError,
+        ingest_trace,
+        matching_profile,
+        render_trace_character,
+        write_ingested,
     )
-    if args.rearrange:
-        analyzer = ReferenceStreamAnalyzer()
-        for job in jobs:
-            for step in job.steps:
-                analyzer.observe(step.logical_block)
-        arranger = BlockArranger(IoctlInterface(driver))
-        hot = HotBlockList.from_pairs(analyzer.hot_blocks())
-        plan, __ = arranger.rearrange(hot, args.blocks, now_ms=0.0)
-        print(f"rearranged {len(plan)} blocks ({plan.policy})")
-        driver.perf_monitor.read_and_clear()
-    tracer = JsonlTraceWriter(args.out_trace) if args.out_trace else NULL_TRACER
-    simulation = Simulation(driver, tracer=tracer)
-    simulation.add_jobs(jobs)
+
     try:
-        completed = simulation.run()
+        result = ingest_trace(
+            args.raw,
+            format=args.format,
+            mapping=args.mapping,
+            disk=args.disk,
+            target_blocks=args.target_blocks,
+            source_span=args.source_span,
+            time_scale=args.time_scale,
+            loop=args.loop,
+            gap_ms=args.gap_ms,
+            limit=args.limit,
+        )
+    except (OSError, TraceParseError) as exc:
+        raise SystemExit(f"ingest failed: {exc}")
+    title = (
+        f"{args.raw} ({result.mapping} -> {result.target_blocks} blocks, "
+        f"{result.loop} loop, x{result.time_scale:g} time)"
+    )
+    print(render_trace_character(result.character, title))
+    if result.wrapped:
+        print(
+            "warning: working set exceeds the target disk; "
+            "compaction wrapped around",
+            file=sys.stderr,
+        )
+    if args.show_profile:
+        profile = matching_profile(result.character, args.profile)
+        print(
+            f"\nmatched profile (base {args.profile!r}): "
+            f"day {profile.day_hours:.2f}h, "
+            f"{profile.read_sessions_per_hour:.0f} read sessions/h, "
+            f"{profile.open_sessions_per_hour:.0f} open sessions/h, "
+            f"zipf {profile.file_popularity_exponent:.2f}, "
+            f"single-block p {profile.single_block_read_prob:.2f}, "
+            f"run mean {profile.multi_run_mean:.1f}"
+        )
+    if args.out:
+        count = write_ingested(result, args.out)
+        print(
+            f"\nwrote {count} jobs ({result.requests} requests) "
+            f"-> {args.out}"
+        )
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from .traces import replay_jobs
+
+    jobs = load_trace(args.trace)
+    tracer = JsonlTraceWriter(args.out_trace) if args.out_trace else NULL_TRACER
+    try:
+        result = replay_jobs(
+            jobs,
+            disk=args.disk,
+            queue=args.queue,
+            rearrange=args.rearrange,
+            num_blocks=args.blocks,
+            tracer=tracer,
+        )
     finally:
         tracer.close()
+    if args.rearrange:
+        print(f"rearranged {result.rearranged_blocks} blocks")
     if args.out_trace:
         print(f"wrote {tracer.events_written} trace events -> {args.out_trace}")
-    stats = driver.perf_monitor.stats("all")
-    seek = model.seek.mean_time(stats.scheduled_seek.buckets)
-    print(f"requests:     {len(completed)}")
-    print(f"mean seek:    {seek:.2f} ms")
-    print(f"mean service: {stats.service.mean_ms:.2f} ms")
-    print(f"mean waiting: {stats.queueing.mean_ms:.2f} ms")
-    print(f"zero seeks:   {stats.scheduled_seek.zero_fraction:.0%}")
+    m = result.metrics.all
+    print(f"requests:     {result.completed}")
+    print(f"mean seek:    {m.mean_seek_time_ms:.2f} ms")
+    print(f"mean service: {m.mean_service_ms:.2f} ms")
+    print(f"mean waiting: {m.mean_waiting_ms:.2f} ms")
+    print(f"zero seeks:   {m.zero_seek_fraction:.0%}")
     return 0
 
 
@@ -351,6 +397,63 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(workload)
     workload.add_argument("--out", default=None, help="trace file to write")
     workload.set_defaults(func=cmd_workload)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="convert an external block trace (blkparse/MSR CSV) for replay",
+    )
+    ingest.add_argument("raw", help="raw trace file (blkparse text or MSR CSV)")
+    ingest.add_argument(
+        "--format", choices=("auto", "blkparse", "msr"), default="auto",
+        help="input format (default: sniff from the first record)",
+    )
+    ingest.add_argument(
+        "--mapping", choices=("modulo", "linear", "compact"),
+        default="compact",
+        help="address-mapping strategy onto the simulated disk "
+        "(see docs/traces.md)",
+    )
+    ingest.add_argument(
+        "--disk", choices=("toshiba", "fujitsu"), default="toshiba",
+        help="disk whose virtual size bounds the mapped addresses",
+    )
+    ingest.add_argument(
+        "--target-blocks", type=int, default=None,
+        help="override the mapped address-space size "
+        "(default: the disk's virtual block count)",
+    )
+    ingest.add_argument(
+        "--source-span", type=int, default=None,
+        help="source address-space size for --mapping linear "
+        "(default: measured with a streaming pre-pass)",
+    )
+    ingest.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="multiply inter-arrival times (0.1 compresses 10x)",
+    )
+    ingest.add_argument(
+        "--loop", choices=("open", "closed"), default="open",
+        help="open: replay arrivals verbatim; closed: fold bursts into "
+        "think-time sessions",
+    )
+    ingest.add_argument(
+        "--gap-ms", type=float, default=50.0,
+        help="closed-loop session break (scaled inter-arrival gap)",
+    )
+    ingest.add_argument(
+        "--limit", type=int, default=None,
+        help="ingest only the first N records",
+    )
+    ingest.add_argument(
+        "--profile", choices=sorted(PROFILES), default="system",
+        help="base profile for --show-profile",
+    )
+    ingest.add_argument(
+        "--show-profile", action="store_true",
+        help="print the matching synthetic workload profile",
+    )
+    ingest.add_argument("--out", default=None, help="trace file to write")
+    ingest.set_defaults(func=cmd_ingest)
 
     replay = sub.add_parser("replay", help="replay a saved trace")
     replay.add_argument("trace")

@@ -1,0 +1,88 @@
+"""Real-world block-trace ingestion and replay.
+
+The paper's headline results come from live NFS request streams; this
+package closes the same gap for the reproduction by replaying *real*
+block traces through the experiment harness:
+
+* :mod:`~repro.traces.formats` — streaming parsers for ``blkparse`` text
+  output and MSR-Cambridge-style CSV;
+* :mod:`~repro.traces.mapping` — address mappers (modulo, linear,
+  working-set compaction) onto the simulated disk;
+* :mod:`~repro.traces.rescale` — inter-arrival rescaling and open- vs
+  closed-loop conversion into :class:`~repro.sim.jobs.Job` objects;
+* :mod:`~repro.traces.characterize` — trace statistics plus synthesis of
+  a matching synthetic :class:`~repro.workload.profiles.WorkloadProfile`;
+* :mod:`~repro.traces.ingest` / :mod:`~repro.traces.replay` — the
+  end-to-end pipeline behind ``repro ingest``, ``repro replay`` and
+  :func:`repro.api.replay_trace`.
+
+See ``docs/traces.md`` for formats, mapping semantics and the
+determinism guarantees.
+"""
+
+from .characterize import (
+    TraceCharacter,
+    characterize_records,
+    matching_profile,
+    render_trace_character,
+)
+from .formats import (
+    BLOCK_BYTES,
+    FORMATS,
+    BlockIO,
+    TraceParseError,
+    iter_trace,
+    parse_blkparse,
+    parse_msr,
+    sniff_format,
+)
+from .ingest import (
+    IngestResult,
+    default_target_blocks,
+    dump_ingested,
+    fixture_path,
+    ingest_trace,
+    write_ingested,
+)
+from .mapping import (
+    MAPPING_STRATEGIES,
+    AddressMapper,
+    CompactMapper,
+    LinearMapper,
+    ModuloMapper,
+    make_mapper,
+)
+from .replay import TraceReplayResult, replay_jobs
+from .rescale import DEFAULT_GAP_MS, jobs_from_records, rebase_and_scale
+
+__all__ = [
+    "AddressMapper",
+    "BLOCK_BYTES",
+    "BlockIO",
+    "CompactMapper",
+    "DEFAULT_GAP_MS",
+    "FORMATS",
+    "IngestResult",
+    "LinearMapper",
+    "MAPPING_STRATEGIES",
+    "ModuloMapper",
+    "TraceCharacter",
+    "TraceParseError",
+    "TraceReplayResult",
+    "characterize_records",
+    "default_target_blocks",
+    "dump_ingested",
+    "fixture_path",
+    "ingest_trace",
+    "iter_trace",
+    "jobs_from_records",
+    "make_mapper",
+    "matching_profile",
+    "parse_blkparse",
+    "parse_msr",
+    "rebase_and_scale",
+    "render_trace_character",
+    "replay_jobs",
+    "sniff_format",
+    "write_ingested",
+]

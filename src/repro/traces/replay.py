@@ -1,0 +1,118 @@
+"""Replay ingested (or generated) jobs through the adaptive driver.
+
+One assembled disk + driver + simulation, fed a fixed job list instead
+of the workload generator.  This is the execution half of the trace
+pipeline: :func:`repro.traces.ingest.ingest_trace` produces the jobs,
+:func:`replay_jobs` runs them and reduces the driver's performance
+tables to the same :class:`~repro.stats.metrics.DayMetrics` every other
+experiment reports — so traced and generated workloads are compared in
+one vocabulary.
+
+With ``rearrange=True`` the replay is *pre-trained*: the reference
+stream analyzer observes the whole trace first, the arranger moves the
+hot blocks into the reserved area, the performance tables are cleared,
+and only then does the trace run — the trace-driven analogue of the
+paper's "train on yesterday, measure today".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.analyzer import ReferenceStreamAnalyzer
+from ..core.arranger import BlockArranger
+from ..core.hotlist import HotBlockList
+from ..disk.disk import Disk
+from ..disk.label import DiskLabel
+from ..disk.models import DiskModel, disk_model
+from ..driver.driver import AdaptiveDiskDriver
+from ..driver.ioctl import IoctlInterface
+from ..driver.queue import make_queue
+from ..obs.tracer import NULL_TRACER, Tracer
+from ..sim.engine import Simulation
+from ..sim.jobs import Job
+from ..stats.metrics import DayMetrics
+from .ingest import _RESERVED_CYLINDERS, IngestResult
+
+#: Default nightly rearrangement sizes (the paper's choices).
+_PAPER_BLOCKS = {"toshiba": 1018, "fujitsu": 3500}
+
+
+@dataclass
+class TraceReplayResult:
+    """What one replay produced."""
+
+    metrics: DayMetrics
+    completed: int
+    """Requests the simulation completed."""
+    events: int
+    """Simulation events dispatched."""
+    rearranged_blocks: int
+    """Blocks moved by pre-training (0 without ``rearrange``)."""
+    disk: str
+    queue: str
+    model: DiskModel
+    ingest: IngestResult | None = None
+    """The ingest stage's output, when the replay came from a raw trace
+    (:func:`repro.api.replay_trace`); ``None`` for bare job lists."""
+
+    @property
+    def requests(self) -> int:
+        return self.metrics.all.requests
+
+
+def replay_jobs(
+    jobs: Sequence[Job] | Iterable[Job],
+    *,
+    disk: str = "toshiba",
+    queue: str = "scan",
+    rearrange: bool = False,
+    num_blocks: int | None = None,
+    tracer: Tracer = NULL_TRACER,
+) -> TraceReplayResult:
+    """Run a job list through a freshly assembled driver.
+
+    Fully deterministic: the same jobs, disk and queue produce the same
+    metrics on every run (there is no randomness anywhere in the replay
+    path), which is what lets the ``trace_replay`` benchmark pin its
+    metrics digest.
+    """
+    jobs = list(jobs)
+    model = disk_model(disk)
+    label = DiskLabel(
+        model.geometry, reserved_cylinders=_RESERVED_CYLINDERS[disk]
+    )
+    driver = AdaptiveDiskDriver(
+        disk=Disk(model), label=label, queue=make_queue(queue)
+    )
+    rearranged_blocks = 0
+    if rearrange:
+        analyzer = ReferenceStreamAnalyzer()
+        for job in jobs:
+            for step in job.steps:
+                analyzer.observe(step.logical_block)
+        arranger = BlockArranger(IoctlInterface(driver))
+        hot = HotBlockList.from_pairs(analyzer.hot_blocks())
+        blocks = num_blocks if num_blocks is not None else _PAPER_BLOCKS[disk]
+        plan, __ = arranger.rearrange(hot, blocks, now_ms=0.0)
+        rearranged_blocks = len(plan)
+        driver.perf_monitor.read_and_clear()
+    simulation = Simulation(driver, tracer=tracer)
+    simulation.add_jobs(jobs)
+    completed = simulation.run()
+    metrics = DayMetrics.from_tables(
+        IoctlInterface(driver).read_stats(),
+        model.seek,
+        day=0,
+        rearranged=rearrange,
+    )
+    return TraceReplayResult(
+        metrics=metrics,
+        completed=len(completed),
+        events=simulation.events_dispatched,
+        rearranged_blocks=rearranged_blocks,
+        disk=disk,
+        queue=queue,
+        model=model,
+    )

@@ -10,11 +10,17 @@ Format (one record per line, ``#`` comments allowed)::
     J <start_ms> <seq|batch> <name>
     S <r|w> <logical_block> <think_ms>
 
-A ``J`` line opens a job; following ``S`` lines are its steps.
+A ``J`` line opens a job; following ``S`` lines are its steps.  The name
+field is the rest of the ``J`` line: ``-`` means unnamed, and names that
+would be ambiguous in that position — a literal ``-``, leading or
+trailing whitespace, embedded newlines, or a leading double quote — are
+written JSON-quoted and unquoted on load.  Every other name (embedded
+spaces included) is written verbatim.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 from typing import Iterable, TextIO
 
@@ -22,13 +28,47 @@ from ..driver.request import Op
 from ..sim.jobs import Job, Step
 
 
+def _encode_name(name: str | None) -> str:
+    if name is None:
+        return "-"
+    if (
+        name == ""
+        or name == "-"
+        or name != name.strip()
+        or name.startswith('"')
+        or "\n" in name
+        or "\r" in name
+    ):
+        return json.dumps(name)
+    return name
+
+
+def _decode_name(field: str, line_no: int) -> str | None:
+    if field == "-":
+        return None
+    if field.startswith('"'):
+        try:
+            name = json.loads(field)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"line {line_no}: bad quoted job name {field!r}: {exc}"
+            ) from None
+        if not isinstance(name, str):
+            raise ValueError(
+                f"line {line_no}: quoted job name is not a string: {field!r}"
+            )
+        return name
+    return field
+
+
 def dump_jobs(jobs: Iterable[Job], stream: TextIO) -> int:
     """Write jobs to ``stream``; returns the number of jobs written."""
     count = 0
     for job in jobs:
         mode = "seq" if job.sequential else "batch"
-        name = job.name or "-"
-        stream.write(f"J {job.start_ms!r} {mode} {name}\n")
+        stream.write(
+            f"J {job.start_ms!r} {mode} {_encode_name(job.name)}\n"
+        )
         for step in job.steps:
             op = "r" if step.op is Op.READ else "w"
             stream.write(
@@ -61,33 +101,65 @@ def load_jobs(stream: TextIO) -> list[Job]:
         )
         current = None
 
+    def number(text: str, line_no: int, what: str) -> float:
+        try:
+            return float(text)
+        except ValueError:
+            raise ValueError(
+                f"line {line_no}: bad {what} {text!r}"
+            ) from None
+
     for line_no, raw in enumerate(stream, start=1):
         line = raw.strip()
         if not line or line.startswith("#"):
             continue
-        fields = line.split()
-        if fields[0] == "J":
+        if line.startswith("J"):
+            fields = line.split(maxsplit=3)
+            if fields[0] != "J":
+                raise ValueError(
+                    f"line {line_no}: unknown record {fields[0]!r}"
+                )
             finish()
             if len(fields) != 4:
                 raise ValueError(f"line {line_no}: malformed job record")
-            name = None if fields[3] == "-" else fields[3]
+            if fields[2] not in ("seq", "batch"):
+                raise ValueError(
+                    f"line {line_no}: unknown job mode {fields[2]!r} "
+                    "(expected 'seq' or 'batch')"
+                )
             current = {
-                "start_ms": float(fields[1]),
+                "start_ms": number(fields[1], line_no, "start time"),
                 "sequential": fields[2] == "seq",
-                "name": name,
+                "name": _decode_name(fields[3], line_no),
                 "steps": [],
             }
-        elif fields[0] == "S":
+            continue
+        fields = line.split()
+        if fields[0] == "S":
             if current is None:
                 raise ValueError(f"line {line_no}: step before any job")
             if len(fields) != 4:
                 raise ValueError(f"line {line_no}: malformed step record")
-            op = Op.READ if fields[1] == "r" else Op.WRITE
+            if fields[1] == "r":
+                op = Op.READ
+            elif fields[1] == "w":
+                op = Op.WRITE
+            else:
+                raise ValueError(
+                    f"line {line_no}: unknown op {fields[1]!r} "
+                    "(expected 'r' or 'w')"
+                )
+            try:
+                block = int(fields[2])
+            except ValueError:
+                raise ValueError(
+                    f"line {line_no}: bad block number {fields[2]!r}"
+                ) from None
             current["steps"].append(
                 Step(
-                    logical_block=int(fields[2]),
+                    logical_block=block,
                     op=op,
-                    think_ms=float(fields[3]),
+                    think_ms=number(fields[3], line_no, "think time"),
                 )
             )
         else:

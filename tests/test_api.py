@@ -205,3 +205,41 @@ class TestCdfSamplerEquivalence:
             got = cdf.searchsorted(b.random(size), side="right")
             assert np.array_equal(want, got)
         assert a.bit_generator.state == b.bit_generator.state
+
+
+class TestReplayTrace:
+    """repro.api.replay_trace — the one-call real-trace pipeline."""
+
+    def test_end_to_end_with_rearrangement(self):
+        from repro.api import replay_trace
+
+        result = replay_trace(
+            "tests/fixtures/sample.blkparse", rearrange=True
+        )
+        assert result.rearranged_blocks > 0
+        assert result.completed > 0
+        assert result.ingest is not None
+        assert result.ingest.records == result.ingest.character.requests
+        assert result.metrics.rearranged
+
+    def test_bit_identical_across_runs(self):
+        from repro.api import replay_trace
+        from repro.bench.digest import day_metrics_payload, metrics_digest
+
+        def digest():
+            result = replay_trace(
+                "tests/fixtures/sample.msr.csv",
+                mapping="linear",
+                loop="closed",
+                disk="fujitsu",
+                time_scale=0.5,
+            )
+            return metrics_digest(day_metrics_payload(result.metrics))
+
+        assert digest() == digest()
+
+    def test_exported_from_api(self):
+        from repro import api
+
+        assert "replay_trace" in api.__all__
+        assert "TraceReplayResult" in api.__all__

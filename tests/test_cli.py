@@ -82,3 +82,84 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "zero seeks" in out
+
+
+class TestIngestCommand:
+    BLK = "tests/fixtures/sample.blkparse"
+    MSR = "tests/fixtures/sample.msr.csv"
+
+    def test_ingest_characterizes(self, capsys):
+        code = main(["ingest", self.BLK])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "working set" in out
+        assert "zipf exponent" in out
+        assert "compact" in out
+
+    def test_ingest_show_profile(self, capsys):
+        code = main(["ingest", self.MSR, "--show-profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "matched profile" in out
+
+    def test_ingest_missing_file_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="ingest failed"):
+            main(["ingest", "no/such/file.trace"])
+
+    def test_ingest_malformed_names_line(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text(
+            "128166372003061629,h,0,Read,8192,4096,1\n"
+            "128166372003061630,h,0,Shred,8192,4096,1\n"
+        )
+        with pytest.raises(SystemExit, match="line 2"):
+            main(["ingest", str(bad)])
+
+    def test_full_pipeline_without_python_api(self, capsys, tmp_path):
+        """repro ingest -> repro replay completes the real-trace pipeline."""
+        converted = tmp_path / "converted.trace"
+        code = main(
+            [
+                "ingest",
+                self.BLK,
+                "--mapping",
+                "compact",
+                "--out",
+                str(converted),
+            ]
+        )
+        assert code == 0
+        assert converted.exists()
+        out = capsys.readouterr().out
+        assert "wrote" in out
+
+        code = main(["replay", str(converted), "--rearrange"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rearranged" in out
+        assert "mean seek" in out
+        assert "zero seeks" in out
+
+    def test_pipeline_closed_loop_msr(self, capsys, tmp_path):
+        converted = tmp_path / "msr.trace"
+        code = main(
+            [
+                "ingest",
+                self.MSR,
+                "--mapping",
+                "linear",
+                "--loop",
+                "closed",
+                "--disk",
+                "fujitsu",
+                "--time-scale",
+                "0.5",
+                "--out",
+                str(converted),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(["replay", str(converted), "--disk", "fujitsu"])
+        assert code == 0
+        assert "requests" in capsys.readouterr().out

@@ -107,3 +107,77 @@ def test_roundtrip_property(jobs_spec):
         for a, b in zip(original.steps, restored.steps):
             assert (a.logical_block, a.op) == (b.logical_block, b.op)
             assert b.think_ms == pytest.approx(a.think_ms)
+
+
+class TestNameQuoting:
+    """Names survive a round trip even when they collide with the syntax."""
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "two words",
+            "tabs\tinside",
+            "-",
+            " leading-space",
+            "trailing-space ",
+            "",
+            '"quoted"',
+            "new\nline",
+            "carriage\rreturn",
+            "unicode-péøß",
+        ],
+    )
+    def test_awkward_names_round_trip(self, name):
+        loaded = roundtrip([batch_job(1.0, [5], Op.READ, name=name)])
+        assert loaded[0].name == name
+
+    def test_plain_names_written_verbatim(self):
+        stream = io.StringIO()
+        dump_jobs([batch_job(1.0, [5], Op.READ, name="two words")], stream)
+        assert "J 1.0 batch two words\n" in stream.getvalue()
+
+    def test_bad_quoted_name_names_line(self):
+        text = 'J 1.0 batch "unterminated\nS r 5 0.0\n'
+        with pytest.raises(ValueError, match="line 1"):
+            load_jobs(io.StringIO(text))
+
+    def test_quoted_name_with_trailing_junk_rejected(self):
+        with pytest.raises(ValueError, match="line 1: bad quoted job name"):
+            load_jobs(io.StringIO('J 1.0 batch "x" y\nS r 5 0.0\n'))
+
+
+class TestFieldValidation:
+    def test_unknown_op_letter_names_line(self):
+        text = "J 1.0 batch -\nS x 5 0.0\n"
+        with pytest.raises(ValueError, match=r"line 2: unknown op 'x'"):
+            load_jobs(io.StringIO(text))
+
+    def test_unknown_job_mode_names_line(self):
+        with pytest.raises(ValueError, match=r"line 1: unknown job mode"):
+            load_jobs(io.StringIO("J 1.0 weird -\nS r 5 0.0\n"))
+
+    def test_bad_numbers_name_line(self):
+        with pytest.raises(ValueError, match="line 1: bad start time"):
+            load_jobs(io.StringIO("J soon batch -\nS r 5 0.0\n"))
+        with pytest.raises(ValueError, match="line 2: bad block number"):
+            load_jobs(io.StringIO("J 1.0 batch -\nS r five 0.0\n"))
+        with pytest.raises(ValueError, match="line 2: bad think time"):
+            load_jobs(io.StringIO("J 1.0 batch -\nS r 5 later\n"))
+
+
+@given(
+    name=st.one_of(
+        st.none(),
+        st.text(
+            alphabet=st.characters(
+                blacklist_categories=("Cs",), max_codepoint=0x2FFF
+            ),
+            max_size=30,
+        ),
+    )
+)
+def test_name_roundtrip_property(name):
+    loaded = roundtrip(
+        [Job(start_ms=0.0, sequential=False, steps=[Step(1, Op.READ, 0.0)], name=name)]
+    )
+    assert loaded[0].name == name

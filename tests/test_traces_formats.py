@@ -1,0 +1,209 @@
+"""Tests for repro.traces.formats — streaming external-trace parsers."""
+
+import pytest
+
+from repro.driver.request import Op
+from repro.traces import (
+    BlockIO,
+    TraceParseError,
+    iter_trace,
+    parse_blkparse,
+    parse_msr,
+    sniff_format,
+)
+
+BLK_LINE = "  8,0    1       12     0.002104572  1203  Q   R 5439488 + 8 [cc1]"
+MSR_LINE = "128166372003061629,src1,0,Read,8192,4096,1331"
+
+
+class TestBlkparse:
+    def test_basic_record(self):
+        records = list(parse_blkparse([BLK_LINE]))
+        assert len(records) == 1
+        record = records[0]
+        assert record.op is Op.READ
+        assert record.time_ms == pytest.approx(2.104572)
+        assert record.block == 5439488 // 8  # 512B sectors -> 4KB blocks
+        assert record.num_blocks == 1
+        assert record.line_no == 1
+
+    def test_write_and_sync_flags(self):
+        line = "8,0 1 2 0.5 99 Q WS 80 + 8 [kjournald]"
+        (record,) = parse_blkparse([line])
+        assert record.op is Op.WRITE
+
+    def test_non_queue_actions_skipped(self):
+        lines = [
+            "8,0 1 1 0.1 9 D R 8 + 8 [x]",
+            "8,0 1 2 0.2 9 C R 8 + 8 [0]",
+            "8,0 1 3 0.3 9 Q R 8 + 8 [x]",
+        ]
+        records = list(parse_blkparse(lines))
+        assert [r.line_no for r in records] == [3]
+
+    def test_non_event_lines_skipped(self):
+        lines = [
+            "# comment",
+            "",
+            "CPU0 (8,0):",
+            " Reads Queued:  12,  48KiB",
+            "8,0 0 1 0.1 9 Q R 16 + 8 [x]",
+        ]
+        assert len(list(parse_blkparse(lines))) == 1
+
+    def test_flush_without_direction_skipped(self):
+        line = "8,0 0 1 0.1 9 Q FWS 0 + 0 [kjournald]"
+        assert list(parse_blkparse([line])) == []
+
+    def test_zero_length_skipped(self):
+        line = "8,0 0 1 0.1 9 Q W 128 + 0 [x]"
+        assert list(parse_blkparse([line])) == []
+
+    def test_multi_block_extent(self):
+        # 24 sectors starting at sector 4 straddle blocks 0..3
+        (record,) = parse_blkparse(["8,0 0 1 0.1 9 Q R 4 + 24 [x]"])
+        assert record.block == 0
+        assert record.num_blocks == 4
+
+    def test_bad_sector_names_file_line_and_field(self):
+        lines = ["8,0 0 1 0.1 9 Q R eight + 8 [x]"]
+        with pytest.raises(TraceParseError) as exc:
+            list(parse_blkparse(lines, "server.trace"))
+        assert exc.value.source == "server.trace"
+        assert exc.value.line_no == 1
+        assert exc.value.field == "sector"
+        assert "server.trace" in str(exc.value)
+        assert "line 1" in str(exc.value)
+
+    def test_truncated_extent_rejected(self):
+        lines = [
+            "8,0 0 1 0.1 9 Q R 16 + 8 [x]",
+            "8,0 0 2 0.2 9 Q R 24 +",  # truncated mid-line (crash tail)
+        ]
+        with pytest.raises(TraceParseError) as exc:
+            list(parse_blkparse(lines, "t.trace"))
+        assert exc.value.line_no == 2
+        assert exc.value.field == "sector extent"
+
+    def test_bad_timestamp_rejected(self):
+        with pytest.raises(TraceParseError) as exc:
+            list(parse_blkparse(["8,0 0 1 noon 9 Q R 16 + 8 [x]"]))
+        assert exc.value.field == "timestamp"
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(TraceParseError) as exc:
+            list(parse_blkparse(["8,0 0 1 0.1 9 Q R -16 + 8 [x]"]))
+        assert exc.value.field == "sector extent"
+
+
+class TestMsr:
+    def test_basic_record(self):
+        records = list(parse_msr([MSR_LINE]))
+        assert len(records) == 1
+        record = records[0]
+        assert record.op is Op.READ
+        assert record.block == 2  # byte offset 8192 / 4096
+        assert record.num_blocks == 1
+
+    def test_header_tolerated(self):
+        lines = [
+            "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime",
+            MSR_LINE,
+        ]
+        assert len(list(parse_msr(lines))) == 1
+
+    def test_write_type_and_multi_block(self):
+        line = "128166372003061629,h,1,Write,4096,8193,10"
+        (record,) = parse_msr([line])
+        assert record.op is Op.WRITE
+        assert record.block == 1
+        assert record.num_blocks == 3  # 8193 bytes spill into a third block
+
+    def test_unknown_type_names_field(self):
+        line = "128166372003061629,h,1,Trim,4096,4096,10"
+        with pytest.raises(TraceParseError) as exc:
+            list(parse_msr([line], "disk0.csv"))
+        assert exc.value.field == "type"
+        assert "disk0.csv" in str(exc.value)
+
+    def test_short_record_rejected_with_line_number(self):
+        lines = [MSR_LINE, "128166372003061630,h,1,Read,4096"]
+        with pytest.raises(TraceParseError) as exc:
+            list(parse_msr(lines))
+        assert exc.value.line_no == 2
+        assert exc.value.field == "record"
+
+    def test_bad_offset_and_size_name_fields(self):
+        with pytest.raises(TraceParseError) as exc:
+            list(parse_msr(["1,h,1,Read,ten,4096,1"]))
+        assert exc.value.field == "offset"
+        with pytest.raises(TraceParseError) as exc:
+            list(parse_msr(["1,h,1,Read,4096,much,1"]))
+        assert exc.value.field == "size"
+
+    def test_zero_size_skipped(self):
+        assert list(parse_msr(["1,h,1,Read,4096,0,1"])) == []
+
+
+class TestSniffAndIter:
+    def test_sniff(self):
+        assert sniff_format(BLK_LINE) == "blkparse"
+        assert sniff_format(MSR_LINE) == "msr"
+        with pytest.raises(ValueError):
+            sniff_format("what is this")
+
+    def test_iter_trace_auto_detects_fixtures(self):
+        blk = list(iter_trace("tests/fixtures/sample.blkparse"))
+        msr = list(iter_trace("tests/fixtures/sample.msr.csv"))
+        assert len(blk) > 100
+        assert len(msr) > 100
+        assert all(isinstance(r, BlockIO) for r in blk)
+
+    def test_iter_trace_limit(self):
+        records = list(iter_trace("tests/fixtures/sample.blkparse", limit=5))
+        assert len(records) == 5
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_trace("tests/fixtures/sample.blkparse", "vtrace"))
+
+
+class TestStreaming:
+    """The parsers must never materialize the input."""
+
+    @staticmethod
+    def _counting_lines(total):
+        def generator():
+            for i in range(total):
+                generator.consumed = i + 1
+                yield f"8,0 0 {i} {i * 0.001:.6f} 9 Q R {i * 8} + 8 [x]\n"
+
+        generator.consumed = 0
+        return generator
+
+    def test_parser_is_lazy_over_10k_lines(self):
+        total = 12_000
+        source = self._counting_lines(total)
+        parser = parse_blkparse(source())
+        for _ in range(5):
+            next(parser)
+        # Only the consumed prefix was ever read, not the whole file.
+        assert source.consumed <= 10
+        assert source.consumed < total / 1000
+
+    def test_parser_handles_10k_lines(self):
+        total = 12_000
+        records = list(parse_blkparse(self._counting_lines(total)()))
+        assert len(records) == total
+
+    def test_msr_parser_is_lazy(self):
+        def lines():
+            for i in range(11_000):
+                lines.consumed = i + 1
+                yield f"{1000 + i * 7},h,0,Read,{i * 4096},4096,9\n"
+
+        lines.consumed = 0
+        parser = parse_msr(lines())
+        for _ in range(3):
+            next(parser)
+        assert lines.consumed <= 5
