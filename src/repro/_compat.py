@@ -1,28 +1,28 @@
-"""Deprecation shims for renamed keywords (see ``docs/api.md``).
+"""Removed-keyword guards for the unified parameter names (``docs/api.md``).
 
-The public surface unified its parameter names — device-name keywords
-are called ``device``, block-count keywords ``num_blocks``, and factory
-lookups take the thing they look up (``disk=``, ``profile=``).  The old
-names keep working for one release but emit :class:`DeprecationWarning`;
-the test suite promotes those warnings to errors, so internal callers
-must use the new names.
+The public surface unified its parameter names — device-name keywords are
+called ``device``, block-count keywords ``num_blocks``, and factory lookups
+take the thing they look up (``disk=``, ``profile=``).  The old names were
+deprecated for one release (with :class:`DeprecationWarning` aliases) and
+have now been **removed**.  The guards below keep the old spellings from
+failing with an anonymous "unexpected keyword argument" error: callers get
+a :class:`TypeError` that names the replacement keyword.
 """
 
 from __future__ import annotations
 
 import functools
-import warnings
 from typing import Any, Callable, TypeVar
 
 F = TypeVar("F", bound=Callable[..., Any])
 
 
-def deprecated_alias(**aliases: str) -> Callable[[F], F]:
-    """Map deprecated keyword names onto their replacements.
+def removed_alias(**aliases: str) -> Callable[[F], F]:
+    """Reject removed keyword names with an error naming the new keyword.
 
-    ``@deprecated_alias(old="new")`` makes ``fn(old=x)`` behave as
-    ``fn(new=x)`` after emitting one :class:`DeprecationWarning`.
-    Passing both the old and the new name is a :class:`TypeError`.
+    ``@removed_alias(old="new")`` makes ``fn(old=x)`` raise
+    ``TypeError: fn() keyword 'old' was removed; use 'new'`` instead of
+    the stock unexpected-keyword message.
     """
 
     def decorate(fn: F) -> F:
@@ -30,18 +30,10 @@ def deprecated_alias(**aliases: str) -> Callable[[F], F]:
         def wrapper(*args: Any, **kwargs: Any) -> Any:
             for old, new in aliases.items():
                 if old in kwargs:
-                    if new in kwargs:
-                        raise TypeError(
-                            f"{fn.__qualname__}() got both {old!r} "
-                            f"(deprecated) and {new!r}"
-                        )
-                    warnings.warn(
-                        f"{fn.__qualname__}(): keyword {old!r} is "
-                        f"deprecated, use {new!r}",
-                        DeprecationWarning,
-                        stacklevel=2,
+                    raise TypeError(
+                        f"{fn.__qualname__}() keyword {old!r} was removed; "
+                        f"use {new!r}"
                     )
-                    kwargs[new] = kwargs.pop(old)
             return fn(*args, **kwargs)
 
         return wrapper  # type: ignore[return-value]
@@ -49,10 +41,6 @@ def deprecated_alias(**aliases: str) -> Callable[[F], F]:
     return decorate
 
 
-def deprecated_name(old: str, new: str) -> None:
-    """Emit the standard warning for a deprecated attribute or method."""
-    warnings.warn(
-        f"{old} is deprecated, use {new}",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+def removed_name(old: str, new: str) -> AttributeError:
+    """The standard error for a removed attribute or method name."""
+    return AttributeError(f"{old} was removed; use {new}")

@@ -5,12 +5,13 @@ Scripts and notebooks should import from here::
     from repro.api import simulate_day, run_campaign, run_bench
 
     day = simulate_day(hours=0.25, rearranged=True)
-    print(day.metrics.mean_seek_time_ms("all"))
+    print(day.metrics.all.mean_seek_time_ms)
 
 Deep imports (``repro.sim.experiment`` and friends) keep working, but
-their layout may shift between releases, and renamed keywords go through
-a one-release :class:`DeprecationWarning` cycle (see ``docs/api.md``).
-The names in this module's ``__all__`` do not break.
+their layout may shift between releases; renamed keywords get one release
+of :class:`DeprecationWarning` and are then removed with an error naming
+the replacement (see ``docs/api.md``).  The names in this module's
+``__all__`` do not break.
 
 Every function returns the library's typed result objects —
 :class:`~repro.sim.experiment.DayResult`,
@@ -65,10 +66,13 @@ def make_config(
     """Build an :class:`ExperimentConfig` from short names.
 
     ``profile`` is a preset name (``"system"`` or ``"users"``) or a full
-    :class:`WorkloadProfile`; ``hours`` shortens the simulated day (the
-    paper's days are 15 h — 0.1 to 0.25 keeps a day under a second).
-    Any remaining keywords pass through to :class:`ExperimentConfig`
-    unchanged (``num_blocks=``, ``placement_policy=``, ``faults=``, ...).
+    :class:`WorkloadProfile`; ``disk`` is ``"toshiba"``, ``"fujitsu"``,
+    or the ~8 GB ``"modern"`` scale-testing drive; ``hours`` shortens the
+    simulated day (the paper's days are 15 h — 0.1 to 0.25 keeps a day
+    under a second).  Any remaining keywords pass through to
+    :class:`ExperimentConfig` unchanged (``num_blocks=``,
+    ``placement_policy=``, ``faults=``, ``counter="spacesaving"`` for the
+    bounded top-k sketch of ``docs/scaling.md``, ...).
     """
     if isinstance(profile, str):
         try:
@@ -194,13 +198,18 @@ def run_bench(
     *,
     quick: bool = False,
     repeat: int = 1,
+    measure_memory: bool = True,
 ) -> list[BenchReport]:
     """Run the benchmark suite; one :class:`BenchReport` per scenario.
 
     ``scenarios`` selects by name (``None`` runs the whole suite);
     ``quick`` shrinks the simulated days for CI; ``repeat`` keeps the
     best wall-clock of N runs and verifies the metrics digest does not
-    change between them.  See ``docs/benchmarking.md``.
+    change between them.  ``measure_memory`` adds one untimed run per
+    scenario under ``tracemalloc`` and records the peak allocation in
+    :attr:`BenchReport.peak_mem_bytes`.  See ``docs/benchmarking.md``.
     """
     selected = get_scenarios(list(scenarios) if scenarios else None)
-    return run_suite(selected, quick=quick, repeat=repeat)
+    return run_suite(
+        selected, quick=quick, repeat=repeat, measure_memory=measure_memory
+    )

@@ -32,6 +32,12 @@ BASELINE_SCHEMA = "repro-bench-baseline/1"
 DEFAULT_THRESHOLD = 0.15
 """Fractional slowdown (normalized) above which the gate fails."""
 
+DEFAULT_MEM_THRESHOLD = 0.25
+"""Fractional peak-memory growth above which the gate fails.  Wider than
+the time threshold: allocator behavior shifts slightly across Python
+patch versions, while a real regression (say, a dict where an array
+should be) moves peak memory by whole multiples."""
+
 
 class BenchError(RuntimeError):
     """A benchmark comparison failed (regression or digest mismatch)."""
@@ -96,6 +102,9 @@ class BenchReport:
     requests: int
     metrics_digest: str
     calibration: float
+    peak_mem_bytes: int | None = None
+    """Peak traced allocation (``tracemalloc``) of one untimed scenario
+    run; ``None`` when the memory pass was skipped."""
     machine: dict[str, Any] = field(default_factory=dict)
     detail: dict[str, Any] = field(default_factory=dict)
 
@@ -117,9 +126,34 @@ class BenchReport:
             "requests": self.requests,
             "metrics_digest": self.metrics_digest,
             "calibration": self.calibration,
+            "peak_mem_bytes": self.peak_mem_bytes,
             "machine": self.machine,
             "detail": self.detail,
         }
+
+
+def _measure_peak_memory(scenario: Scenario, quick: bool, digest: str) -> int:
+    """Peak traced allocation of one extra scenario run.
+
+    Runs *outside* the timed repetitions: ``tracemalloc`` hooks every
+    allocation and roughly doubles wall-clock, so a traced run must never
+    contribute a timing sample.  The run's digest is still checked — the
+    memory pass is also one more determinism witness.
+    """
+    import tracemalloc
+
+    tracemalloc.start()
+    try:
+        result = scenario.run(quick)
+        peak = tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+    if metrics_digest(result.payload) != digest:
+        raise BenchError(
+            f"scenario {scenario.name!r} is nondeterministic: "
+            f"digest changed under the memory-profiling run"
+        )
+    return peak
 
 
 def run_scenario(
@@ -127,12 +161,16 @@ def run_scenario(
     quick: bool = False,
     repeat: int = 1,
     calibration: float | None = None,
+    measure_memory: bool = True,
 ) -> BenchReport:
     """Time ``scenario`` ``repeat`` times; keep the best wall-clock.
 
     Every repetition must produce the same digest (the scenarios are
     deterministic); a mismatch means nondeterminism crept into the
     simulator and is reported as :class:`BenchError` immediately.
+
+    With ``measure_memory`` (the default) a final untimed repetition runs
+    under ``tracemalloc`` and records the peak traced allocation.
     """
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
@@ -154,6 +192,11 @@ def run_scenario(
                 f"digest changed between repetitions"
             )
     assert result is not None and digest is not None
+    peak_mem = (
+        _measure_peak_memory(scenario, quick, digest)
+        if measure_memory
+        else None
+    )
     return BenchReport(
         scenario=scenario.name,
         mode="quick" if quick else "full",
@@ -163,18 +206,28 @@ def run_scenario(
         requests=result.requests,
         metrics_digest=digest,
         calibration=calibration,
+        peak_mem_bytes=peak_mem,
         machine=machine_metadata(),
         detail=dict(result.detail),
     )
 
 
 def run_suite(
-    scenarios: list[Scenario], quick: bool = False, repeat: int = 1
+    scenarios: list[Scenario],
+    quick: bool = False,
+    repeat: int = 1,
+    measure_memory: bool = True,
 ) -> list[BenchReport]:
     """Run several scenarios with one shared calibration measurement."""
     calibration = calibration_score()
     return [
-        run_scenario(s, quick=quick, repeat=repeat, calibration=calibration)
+        run_scenario(
+            s,
+            quick=quick,
+            repeat=repeat,
+            calibration=calibration,
+            measure_memory=measure_memory,
+        )
         for s in scenarios
     ]
 
@@ -211,6 +264,7 @@ def write_baseline(
                 "events_per_sec": report.events_per_sec,
                 "metrics_digest": report.metrics_digest,
                 "calibration": report.calibration,
+                "peak_mem_bytes": report.peak_mem_bytes,
             }
             for report in reports
         },
@@ -236,17 +290,24 @@ def compare_reports(
     reports: list[BenchReport],
     baseline: dict[str, Any],
     threshold: float = DEFAULT_THRESHOLD,
+    mem_threshold: float = DEFAULT_MEM_THRESHOLD,
 ) -> list[str]:
     """Check reports against a baseline; returns the list of failures.
 
-    Three checks per scenario, in order of severity:
+    Four checks per scenario, in order of severity:
 
     1. the scenario exists in the baseline and modes match;
     2. the metrics digest is byte-identical (behavior unchanged);
-    3. normalized wall-clock has not regressed by more than ``threshold``.
+    3. normalized wall-clock has not regressed by more than ``threshold``;
+    4. peak traced memory has not grown by more than ``mem_threshold``
+       (skipped when either side lacks a memory measurement, e.g. a
+       baseline written before memory profiling existed).
 
     Normalization: ``wall * (baseline_calibration / current_calibration)``
     — i.e. "how long would this run have taken on the baseline machine".
+    Memory is compared raw: allocation sizes do not depend on machine
+    speed.  Every baseline field is read defensively, so a stale or
+    hand-edited baseline produces a named problem, never a ``KeyError``.
     """
     problems: list[str] = []
     entries = baseline.get("scenarios", {})
@@ -254,7 +315,8 @@ def compare_reports(
         entry = entries.get(report.scenario)
         if entry is None:
             problems.append(
-                f"{report.scenario}: not present in baseline"
+                f"{report.scenario}: not present in baseline — "
+                "regenerate it with 'repro bench --baseline'"
             )
             continue
         if baseline.get("mode") != report.mode:
@@ -263,10 +325,19 @@ def compare_reports(
                 f"{baseline.get('mode')!r}, run {report.mode!r})"
             )
             continue
-        if entry["metrics_digest"] != report.metrics_digest:
+        base_digest = entry.get("metrics_digest")
+        base_wall = entry.get("wall_s")
+        if base_digest is None or base_wall is None:
+            problems.append(
+                f"{report.scenario}: baseline entry is incomplete "
+                "(missing metrics_digest/wall_s) — regenerate it with "
+                "'repro bench --baseline'"
+            )
+            continue
+        if base_digest != report.metrics_digest:
             problems.append(
                 f"{report.scenario}: metrics digest changed "
-                f"(baseline {entry['metrics_digest'][:23]}..., "
+                f"(baseline {base_digest[:23]}..., "
                 f"run {report.metrics_digest[:23]}...) — simulated "
                 "behavior is no longer identical"
             )
@@ -277,25 +348,42 @@ def compare_reports(
         else:
             speed_ratio = 1.0
         normalized = report.wall_s * speed_ratio
-        budget = float(entry["wall_s"]) * (1.0 + threshold)
+        budget = float(base_wall) * (1.0 + threshold)
         if normalized > budget:
             problems.append(
                 f"{report.scenario}: slowed beyond the {threshold:.0%} "
-                f"budget (baseline {entry['wall_s']:.3f}s, normalized "
+                f"budget (baseline {base_wall:.3f}s, normalized "
                 f"run {normalized:.3f}s, raw {report.wall_s:.3f}s, "
                 f"machine-speed ratio {1 / speed_ratio:.2f}x)"
             )
+            continue
+        base_mem = entry.get("peak_mem_bytes")
+        if base_mem and report.peak_mem_bytes is not None:
+            mem_budget = float(base_mem) * (1.0 + mem_threshold)
+            if report.peak_mem_bytes > mem_budget:
+                problems.append(
+                    f"{report.scenario}: peak memory grew beyond the "
+                    f"{mem_threshold:.0%} budget (baseline "
+                    f"{base_mem / 1e6:.1f} MB, run "
+                    f"{report.peak_mem_bytes / 1e6:.1f} MB)"
+                )
     return problems
 
 
 def render_report_line(report: BenchReport) -> str:
     """One human-readable summary line per scenario."""
+    memory = (
+        f"peak {report.peak_mem_bytes / 1e6:7.1f} MB  "
+        if report.peak_mem_bytes is not None
+        else ""
+    )
     return (
         f"{report.scenario:<18} {report.mode:<5} "
         f"wall {report.wall_s:8.3f}s  "
         f"events {report.events:>8}  "
         f"{report.events_per_sec:>10.0f} ev/s  "
         f"requests {report.requests:>7}  "
+        f"{memory}"
         f"{report.metrics_digest[:19]}..."
     )
 

@@ -26,6 +26,13 @@ Three scenarios cover the simulator's hot paths from three angles:
     subsystem and pins its metrics digest — ingest and replay are pure
     functions of the fixture bytes, so the digest must never move.
 
+``large_disk``
+    The standard day on the synthetic ~8 GB ``modern`` disk (2,097,152
+    blocks) with the ``spacesaving`` analyzer counter — the scale target
+    of ``docs/scaling.md``.  Guards the array-backed block table, the
+    streaming sketch, and the vectorized placement pipeline against both
+    time and peak-memory regressions on a multi-million-block device.
+
 Every scenario is deterministic: fixed seeds, fixed day lengths per mode.
 ``quick`` mode shrinks the simulated day so CI can afford the suite; the
 digests of quick and full runs differ (different workloads) but each is
@@ -67,12 +74,15 @@ class Scenario:
 
 
 def _config(
-    disk: str, hours: float, faults: str | None = None
+    disk: str,
+    hours: float,
+    faults: str | None = None,
+    counter: str = "exact",
 ) -> ExperimentConfig:
     profile = PROFILES["system"].scaled(hours=hours)
     plan = parse_fault_spec(faults) if faults else None
     return ExperimentConfig(
-        profile=profile, disk=disk, seed=1993, faults=plan
+        profile=profile, disk=disk, seed=1993, faults=plan, counter=counter
     )
 
 
@@ -182,6 +192,22 @@ def _fault_stress(quick: bool) -> ScenarioResult:
     return result
 
 
+def _large_disk(quick: bool) -> ScenarioResult:
+    hours = 0.5 if quick else 15.0
+    experiment = Experiment(
+        _config("modern", hours, counter="spacesaving")
+    )
+    result = _run_days(experiment, [False, True])
+    result.detail.update(
+        disk="modern",
+        hours=hours,
+        days=2,
+        total_blocks=experiment.model.geometry.total_blocks,
+        counter="spacesaving",
+    )
+    return result
+
+
 def _trace_replay(quick: bool) -> ScenarioResult:
     from ..traces import fixture_path, ingest_trace, replay_jobs
 
@@ -255,6 +281,11 @@ SCENARIOS: dict[str, Scenario] = {
             "trace_replay",
             "ingest + replay of the bundled blkparse/MSR fixture traces",
             _trace_replay,
+        ),
+        Scenario(
+            "large_disk",
+            "standard day on the 2M-block modern disk, spacesaving counter",
+            _large_disk,
         ),
     )
 }

@@ -54,9 +54,12 @@ from .workload.profiles import PROFILES, profile_for_disk
 from .workload.trace import load_trace, save_trace
 
 
+DISK_CHOICES = ("toshiba", "fujitsu", "modern")
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--disk", choices=("toshiba", "fujitsu"), default="toshiba"
+        "--disk", choices=DISK_CHOICES, default="toshiba"
     )
     parser.add_argument(
         "--profile", choices=sorted(PROFILES), default="system"
@@ -66,6 +69,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="length of a measurement day (default: the profile's 15h)",
     )
     parser.add_argument("--seed", type=int, default=1993)
+    parser.add_argument(
+        "--counter", choices=("exact", "spacesaving"), default="exact",
+        help="analyzer counter strategy: exact per-block counts (the "
+        "paper's setup) or a bounded Space-Saving top-k sketch "
+        "(see docs/scaling.md)",
+    )
     parser.add_argument(
         "--faults", default=None, metavar="SPEC",
         help="deterministic fault injection, e.g. "
@@ -85,7 +94,11 @@ def _config(args) -> ExperimentConfig:
         except FaultSpecError as exc:
             raise SystemExit(f"bad --faults spec: {exc}")
     return ExperimentConfig(
-        profile=profile, disk=args.disk, seed=args.seed, faults=faults
+        profile=profile,
+        disk=args.disk,
+        seed=args.seed,
+        faults=faults,
+        counter=getattr(args, "counter", "exact"),
     )
 
 
@@ -327,7 +340,12 @@ def cmd_bench(args) -> int:
         scenarios = get_scenarios(names)
     except KeyError as exc:
         raise SystemExit(str(exc.args[0]))
-    reports = run_suite(scenarios, quick=args.quick, repeat=args.repeat)
+    reports = run_suite(
+        scenarios,
+        quick=args.quick,
+        repeat=args.repeat,
+        measure_memory=not args.no_memory,
+    )
     for report in reports:
         print(render_report_line(report))
         path = write_report(report, args.out)
@@ -341,14 +359,20 @@ def cmd_bench(args) -> int:
         except (OSError, ValueError, BenchError) as exc:
             raise SystemExit(f"cannot load baseline: {exc}")
         problems = compare_reports(
-            reports, baseline, threshold=args.threshold
+            reports,
+            baseline,
+            threshold=args.threshold,
+            mem_threshold=args.mem_threshold,
         )
         if problems:
             print(f"\nFAIL vs {args.compare}:", file=sys.stderr)
             for problem in problems:
                 print(f"  - {problem}", file=sys.stderr)
             return 1
-        print(f"\nOK vs {args.compare} (threshold {args.threshold:.0%})")
+        print(
+            f"\nOK vs {args.compare} (threshold {args.threshold:.0%}, "
+            f"memory {args.mem_threshold:.0%})"
+        )
     return 0
 
 
@@ -414,7 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(see docs/traces.md)",
     )
     ingest.add_argument(
-        "--disk", choices=("toshiba", "fujitsu"), default="toshiba",
+        "--disk", choices=DISK_CHOICES, default="toshiba",
         help="disk whose virtual size bounds the mapped addresses",
     )
     ingest.add_argument(
@@ -458,7 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     replay = sub.add_parser("replay", help="replay a saved trace")
     replay.add_argument("trace")
     replay.add_argument(
-        "--disk", choices=("toshiba", "fujitsu"), default="toshiba"
+        "--disk", choices=DISK_CHOICES, default="toshiba"
     )
     replay.add_argument(
         "--queue", choices=("fcfs", "scan", "cscan", "sstf"), default="scan"
@@ -479,7 +503,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("jsonl", help="trace file written by --trace")
     trace.add_argument(
-        "--disk", choices=("toshiba", "fujitsu"), default="toshiba",
+        "--disk", choices=DISK_CHOICES, default="toshiba",
         help="disk model whose seek curve converts FCFS distances to times",
     )
     trace.add_argument(
@@ -522,6 +546,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--threshold", type=float, default=0.15,
         help="fractional slowdown tolerated by --compare (default 0.15)",
+    )
+    bench.add_argument(
+        "--mem-threshold", type=float, default=0.25,
+        help="fractional peak-memory growth tolerated by --compare "
+        "(default 0.25)",
+    )
+    bench.add_argument(
+        "--no-memory", action="store_true",
+        help="skip the tracemalloc pass (faster; reports lack peak memory "
+        "and --compare skips the memory check)",
     )
     bench.set_defaults(func=cmd_bench)
 

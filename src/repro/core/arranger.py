@@ -55,13 +55,26 @@ class BlockArranger:
     """Placements skipped by the most recent :meth:`execute` because
     their copy-in hit an unrecoverable device error."""
 
+    _layout: ReservedLayout | None = field(default=None, repr=False)
+
+    def reserved_layout(self) -> ReservedLayout:
+        """The driver's reserved-area layout, built once per arranger.
+
+        The label's reserved region is fixed at initialization, so the
+        layout (and its cached organ-pipe fill order) is reused across
+        nightly cycles instead of being regrouped every plan.
+        """
+        if self._layout is None:
+            self._layout = ReservedLayout.from_label(self.ioctl.driver.label)
+        return self._layout
+
     def plan(
         self, hot_list: HotBlockList, num_blocks: int
     ) -> RearrangementPlan:
         """Select up to ``num_blocks`` hot blocks and place them."""
         if num_blocks < 0:
             raise ValueError("num_blocks must be non-negative")
-        layout = ReservedLayout.from_label(self.ioctl.driver.label)
+        layout = self.reserved_layout()
         eligible = HotBlockList.from_pairs(
             [
                 (entry.block, entry.count)

@@ -89,8 +89,8 @@ class RearrangementController:
         """Drain whatever is left in the request table at day end."""
         self.analyzer.poll(self.ioctl)
 
-    def hot_list(self) -> HotBlockList:
-        return HotBlockList.from_pairs(self.analyzer.hot_blocks())
+    def hot_list(self, limit: int | None = None) -> HotBlockList:
+        return HotBlockList.from_pairs(self.analyzer.hot_blocks(limit))
 
     # ------------------------------------------------------------------
     # End-of-day transitions
@@ -138,8 +138,14 @@ class RearrangementController:
             injector.begin_rearrangement_cycle()
         try:
             if rearrange_tomorrow:
+                # With the default min_count of 1 the arranger's frequency
+                # filter keeps every observed block, so only the hottest
+                # ``num_blocks`` can be selected — skip materializing the
+                # (potentially device-sized) full ranking.  A raised
+                # threshold must see the full list to filter it.
+                limit = num_blocks if self.arranger.min_count <= 1 else None
                 plan, finish = self.arranger.rearrange(
-                    self.hot_list(), num_blocks, now_ms
+                    self.hot_list(limit), num_blocks, now_ms
                 )
                 self.last_plan = plan
             elif degraded and self.degrade_action == "skip":

@@ -1,0 +1,135 @@
+"""Streaming counter strategies for the reference stream analyzer.
+
+The paper's analyzer keeps one reference count per block — fine at 1993
+geometries (a few hundred thousand blocks), but on a multi-million-block
+device the nightly frequency ranking is O(N log N) in the device size and
+the count table alone dwarfs the block table.  The analyzer therefore
+supports two counter strategies:
+
+``exact``
+    One count per referenced block (the paper's configuration), optionally
+    bounded by the analyzer's classic replacement heuristics.  The default,
+    and bit-identical to the historical behaviour.
+
+``spacesaving``
+    The Space-Saving top-k sketch of Metwally, Agrawal & El Abbadi (*Efficient
+    computation of frequent and top-k elements in data streams*, ICDT 2005):
+    at most ``capacity`` counters; a block that is not being tracked evicts
+    the minimum-count entry and inherits its count plus one, so any block
+    whose true frequency exceeds the eviction floor is guaranteed to be
+    present.  Nightly analysis cost becomes O(k log k) in the sketch size,
+    independent of the device size.
+
+    Between days the sketch applies the paper's count-*aging* rule instead
+    of discarding history: Akyürek & Salem fade reference counts at the end
+    of each analysis period so that yesterday's hot spots decay smoothly
+    rather than vanishing.  Each sketch counter is scaled by the ``fading``
+    factor (default ``0.8``) at :meth:`reset`; counters that fade to zero
+    are dropped.  ``fading=0`` restores the exact counter's clear-at-reset
+    behaviour.
+
+Eviction is deterministic: the victim is the smallest ``(count, block)``
+pair, so runs are reproducible across machines and Python versions.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Iterator
+
+COUNTER_STRATEGIES = ("exact", "spacesaving")
+"""Counter strategy names accepted by the analyzer, config, and CLI."""
+
+DEFAULT_FADING = 0.8
+"""Default day-to-day count-aging factor for the ``spacesaving`` sketch."""
+
+# The lazy heap keeps one entry per count *update*; compact it back to one
+# entry per tracked block once it grows past this multiple of the capacity.
+_HEAP_SLACK = 8
+
+
+class SpaceSavingSketch:
+    """Space-Saving top-k frequency sketch with deterministic eviction.
+
+    Counts live in a dict (block -> estimated count); the minimum entry is
+    found through a lazy min-heap of ``(count, block)`` pairs — every count
+    update pushes a fresh pair, stale pairs are discarded when popped, and
+    the heap is compacted once it outgrows ``_HEAP_SLACK`` times the
+    capacity.  Updates are O(log k) amortized.
+    """
+
+    __slots__ = ("capacity", "fading", "replacements", "_counts", "_heap")
+
+    def __init__(self, capacity: int, fading: float = DEFAULT_FADING) -> None:
+        if capacity <= 0:
+            raise ValueError("sketch capacity must be positive")
+        if not 0.0 <= fading <= 1.0:
+            raise ValueError("fading factor must be in [0, 1]")
+        self.capacity = capacity
+        self.fading = fading
+        self.replacements = 0
+        self._counts: dict[int, int] = {}
+        self._heap: list[tuple[int, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def observe(self, block: int) -> None:
+        """Count one reference to ``block``."""
+        counts = self._counts
+        count = counts.get(block)
+        if count is not None:
+            count += 1
+        elif len(counts) < self.capacity:
+            count = 1
+        else:
+            count = self._evict() + 1
+            self.replacements += 1
+        counts[block] = count
+        heap = self._heap
+        heappush(heap, (count, block))
+        if len(heap) > _HEAP_SLACK * self.capacity:
+            self._compact()
+
+    def _evict(self) -> int:
+        """Drop the minimum ``(count, block)`` entry; return its count."""
+        counts = self._counts
+        heap = self._heap
+        while True:
+            count, block = heappop(heap)
+            # A pair is current iff the dict still agrees; a stale pair
+            # that happens to agree is indistinguishable from a current
+            # one *and* carries the correct count, so acting on it is
+            # sound either way.
+            if counts.get(block) == count:
+                del counts[block]
+                return count
+
+    def _compact(self) -> None:
+        self._heap = [(count, block) for block, count in self._counts.items()]
+        heapify(self._heap)
+
+    def count_of(self, block: int) -> int:
+        return self._counts.get(block, 0)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """The tracked (block, estimated count) pairs, unordered."""
+        return iter(self._counts.items())
+
+    def reset(self) -> None:
+        """Age the counters by the fading factor (end of an analysis day).
+
+        Each count becomes ``floor(count * fading)``; zeroed counters are
+        dropped.  With ``fading=0`` the sketch empties completely.
+        """
+        if self.fading <= 0.0:
+            self._counts.clear()
+        else:
+            fading = self.fading
+            self._counts = {
+                block: faded
+                for block, count in self._counts.items()
+                if (faded := int(count * fading)) > 0
+            }
+        self._compact()
+        self.replacements = 0

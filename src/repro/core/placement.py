@@ -26,9 +26,9 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from functools import cached_property
 
-from ..disk.geometry import DiskGeometry
-from ..disk.label import DiskLabel
+from ..disk.label import BLOCK_TABLE_BLOCKS, DiskLabel
 from .hotlist import HotBlockList
 
 CLOSE_FREQUENCY_RATIO = 0.5
@@ -60,20 +60,32 @@ class ReservedLayout:
 
     @classmethod
     def from_label(cls, label: DiskLabel) -> "ReservedLayout":
-        """Group the label's reserved data blocks by cylinder."""
+        """Group the label's reserved data blocks by cylinder.
+
+        Blocks are laid out cylinder-major, so each reserved cylinder's
+        data blocks are one contiguous run; the first cylinders also host
+        the on-disk block-table copy, which is carved off the front.
+        """
         if not label.is_rearranged:
             raise ValueError("disk has no reserved area")
-        geometry: DiskGeometry = label.geometry
-        by_cylinder: dict[int, list[int]] = {}
-        for block in label.reserved_data_blocks():
-            by_cylinder.setdefault(
-                geometry.cylinder_of_block(block), []
-            ).append(block)
-        cylinders = tuple(
-            ReservedCylinder(cylinder=cyl, blocks=tuple(sorted(blocks)))
-            for cyl, blocks in sorted(by_cylinder.items())
-        )
-        return cls(cylinders)
+        per_cylinder = label.geometry.blocks_per_cylinder
+        assert label.reserved_start_cylinder is not None
+        cylinders: list[ReservedCylinder] = []
+        table_blocks = BLOCK_TABLE_BLOCKS
+        for cyl in range(
+            label.reserved_start_cylinder, label.reserved_end_cylinder
+        ):
+            first = cyl * per_cylinder
+            skip = min(table_blocks, per_cylinder)
+            table_blocks -= skip
+            if skip < per_cylinder:
+                cylinders.append(
+                    ReservedCylinder(
+                        cylinder=cyl,
+                        blocks=tuple(range(first + skip, first + per_cylinder)),
+                    )
+                )
+        return cls(tuple(cylinders))
 
     @property
     def capacity(self) -> int:
@@ -86,9 +98,10 @@ class ReservedLayout:
         center = n // 2
         order = [center]
         for step in range(1, n):
-            for candidate in (center + step, center - step):
-                if 0 <= candidate < n and candidate not in order:
-                    order.append(candidate)
+            if center + step < n:
+                order.append(center + step)
+            if center - step >= 0:
+                order.append(center - step)
         return order[:n]
 
     def blocks_in_ascending_order(self) -> list[int]:
@@ -96,6 +109,18 @@ class ReservedLayout:
         for cylinder in self.cylinders:
             blocks.extend(cylinder.blocks)
         return sorted(blocks)
+
+    @cached_property
+    def center_out_slots(self) -> tuple[int, ...]:
+        """All reserved blocks in organ-pipe fill order.
+
+        Cached on the (frozen) layout so the nightly cycle does not
+        rebuild a reserved-area-sized list every rearrangement.
+        """
+        slots: list[int] = []
+        for cylinder_index in self.center_out_indices():
+            slots.extend(self.cylinders[cylinder_index].blocks)
+        return tuple(slots)
 
 
 class PlacementPolicy(ABC):
@@ -121,7 +146,7 @@ class OrganPipePlacement(PlacementPolicy):
         self, hot_list: HotBlockList, layout: ReservedLayout
     ) -> list[Placement]:
         placements: list[Placement] = []
-        slots = _center_out_slots(layout)
+        slots = layout.center_out_slots
         for rank, entry in enumerate(hot_list):
             if rank >= len(slots):
                 break
@@ -225,14 +250,6 @@ class InterleavedPlacement(PlacementPolicy):
         if counts[candidate] < CLOSE_FREQUENCY_RATIO * counts[block]:
             return None
         return candidate
-
-
-def _center_out_slots(layout: ReservedLayout) -> list[int]:
-    """All reserved blocks in organ-pipe fill order."""
-    slots: list[int] = []
-    for cylinder_index in layout.center_out_indices():
-        slots.extend(layout.cylinders[cylinder_index].blocks)
-    return slots
 
 
 PLACEMENT_POLICIES: dict[str, type[PlacementPolicy]] = {

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from .._compat import deprecated_alias
+from .._compat import removed_alias
 from .geometry import DiskGeometry
 from .seek import SeekCurve, SeekModel
 
@@ -83,21 +83,63 @@ def _fujitsu_m2266() -> DiskModel:
     )
 
 
+def _modern_disk() -> DiskModel:
+    """A published-style geometry scaled to ~8 GB and over 2M blocks.
+
+    Not one of the paper's drives: a composite of late-generation SCSI
+    specifications (7200 RPM, ~1 MB cylinders, single-digit-millisecond
+    average seeks) sized so that a full standard day exercises a
+    multi-million-block device — the scale target of ``docs/scaling.md``.
+    The 4 KB file-system block yields 2,097,152 blocks:
+    8192 cylinders x 16 tracks x 128 sectors x 512 B = 8 GB.
+    """
+    geometry = DiskGeometry(
+        cylinders=8192,
+        tracks_per_cylinder=16,
+        sectors_per_track=128,
+        rpm=7200.0,
+        block_bytes=4096,
+    )
+    # Square-root short branch meeting a shallow linear tail at the
+    # crossover (short(1200) = 5.80 ms, long(1200) = 5.82 ms); full-stroke
+    # is 13.5 ms and the average random seek lands near 7.5 ms.
+    seek = SeekModel(
+        short=SeekCurve(a=0.6, b=0.15),
+        long=SeekCurve(a=4.5, b=0.0011, linear=True),
+        crossover=1200,
+        max_cylinders=geometry.cylinders,
+        name="modern-disk",
+    )
+    return DiskModel(
+        name="Modern Disk 8G",
+        geometry=geometry,
+        seek=seek,
+        controller_overhead_ms=0.5,
+        track_buffer_bytes=2 * 1024 * 1024,
+        track_buffer_transfer_ms=0.5,
+    )
+
+
 TOSHIBA_MK156F = _toshiba_mk156f()
 """The paper's 135 MB Toshiba MK156F SCSI disk (Table 1)."""
 
 FUJITSU_M2266 = _fujitsu_m2266()
 """The paper's 1 GB Fujitsu M2266 SCSI disk with track buffer (Table 1)."""
 
+MODERN_DISK = _modern_disk()
+"""A synthetic ~8 GB drive with 2,097,152 blocks (scale testing)."""
+
 DISK_MODELS = {
     "toshiba": TOSHIBA_MK156F,
     "fujitsu": FUJITSU_M2266,
+    "modern": MODERN_DISK,
 }
 
 
-@deprecated_alias(name="disk")
+@removed_alias(name="disk")
 def disk_model(disk: str) -> DiskModel:
-    """Look up a preset by short name (``"toshiba"`` or ``"fujitsu"``)."""
+    """Look up a preset by short name (``"toshiba"``, ``"fujitsu"``, or
+    ``"modern"``)."""
     try:
         return DISK_MODELS[disk.lower()]
     except KeyError:

@@ -12,11 +12,38 @@ never lost.
 This module models both the in-memory table and its on-disk copy; writing
 the disk copy is an explicit step (:meth:`BlockTable.write_to_disk`) so the
 crash-recovery semantics can be exercised by tests.
+
+Two implementations share the same contract:
+
+* :class:`BlockTable` — the default, array-backed.  The forward map
+  (original physical block → reserved block) and the reverse map are flat
+  ``array('i')`` vectors indexed by block number with ``-1`` meaning
+  "absent", so the per-request lookup is a bounds check plus one array
+  index and the per-entry footprint is a few bytes instead of a dict slot
+  plus a boxed entry object.  Entry metadata that is genuinely per-entry
+  (insertion order, the disk-copy shadow) stays in small dicts bounded by
+  the number of *rearranged* blocks, never by the size of the disk.
+* :class:`DictBlockTable` — the original dict-of-entries implementation,
+  kept as the executable specification.  The equivalence test in
+  ``tests/test_blocktable.py`` drives both through randomized
+  add/remove/dirty/flush/crash/recover interleavings and requires
+  identical observable state after every step.
+
+Because the driver rewrites the on-disk copy after *every* block move, a
+full O(entries) snapshot per flush would make the nightly cycle quadratic
+in the number of moved blocks.  :class:`BlockTable` instead tracks the
+blocks whose state changed since the last flush and folds only those into
+the shadow, reproducing the snapshot semantics (including dict insertion
+order, which fixes the move-out order after a crash recovery) at
+O(changes) per flush.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
+
+_ABSENT = -1
 
 
 @dataclass
@@ -28,12 +55,263 @@ class BlockTableEntry:
     dirty: bool = False
 
 
-@dataclass
 class BlockTable:
-    """In-memory block table plus its on-disk shadow.
+    """In-memory block table plus its on-disk shadow (array-backed).
 
     ``capacity`` bounds the number of entries (the reserved area's data
-    capacity); ``None`` means unbounded.
+    capacity); ``None`` means unbounded.  The address-space arrays grow on
+    demand; callers that know the device size can :meth:`reserve` it up
+    front to avoid incremental growth.
+
+    :meth:`entries` and :meth:`lookup` materialize fresh
+    :class:`BlockTableEntry` snapshots — mutating a returned entry does
+    not write through to the table.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self.capacity = capacity
+        self._forward = array("i")  # original block -> reserved block
+        self._reverse = array("i")  # reserved block -> original block
+        self._dirty = bytearray()  # indexed by original block
+        # Insertion-ordered original -> sequence number; bounded by the
+        # number of rearranged blocks (the reserved area's capacity).
+        self._order: dict[int, int] = {}
+        self._next_seq = 0
+        # On-disk shadow, in the order a full snapshot would produce,
+        # plus the sequence number each key was last written with and the
+        # set of blocks whose memory state changed since the last flush.
+        self._disk_map: dict[int, tuple[int, bool]] = {}
+        self._disk_seq: dict[int, int] = {}
+        self._unflushed: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+
+    def reserve(self, num_blocks: int) -> None:
+        """Pre-size both address-space arrays for a ``num_blocks`` device."""
+        if num_blocks > 0:
+            self._ensure(self._forward, num_blocks - 1)
+            self._ensure(self._reverse, num_blocks - 1)
+            if len(self._dirty) < num_blocks:
+                self._dirty.extend(b"\x00" * (num_blocks - len(self._dirty)))
+
+    @staticmethod
+    def _ensure(vector: array, index: int) -> None:
+        if index >= len(vector):
+            vector.extend([_ABSENT] * (index + 1 - len(vector)))
+
+    # ------------------------------------------------------------------
+    # In-memory operations
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, original_block: int) -> bool:
+        forward = self._forward
+        return (
+            0 <= original_block < len(forward)
+            and forward[original_block] != _ABSENT
+        )
+
+    def reserved_of(self, original_block: int) -> int:
+        """Reserved-area home of ``original_block``, or ``-1`` (hot path)."""
+        forward = self._forward
+        if 0 <= original_block < len(forward):
+            return forward[original_block]
+        return _ABSENT
+
+    def lookup(self, original_block: int) -> BlockTableEntry | None:
+        """Entry for ``original_block``, or None if it is not rearranged."""
+        reserved = self.reserved_of(original_block)
+        if reserved == _ABSENT:
+            return None
+        return BlockTableEntry(
+            original_block, reserved, bool(self._dirty[original_block])
+        )
+
+    def original_of(self, reserved_block: int) -> int | None:
+        """Original home of the block stored at ``reserved_block``."""
+        reverse = self._reverse
+        if 0 <= reserved_block < len(reverse):
+            original = reverse[reserved_block]
+            if original != _ABSENT:
+                return original
+        return None
+
+    def add(self, original_block: int, reserved_block: int) -> BlockTableEntry:
+        """Register a block just copied into the reserved area (clean)."""
+        if original_block < 0 or reserved_block < 0:
+            raise ValueError("block numbers must be non-negative")
+        if original_block in self:
+            raise ValueError(f"block {original_block} is already rearranged")
+        if self.original_of(reserved_block) is not None:
+            raise ValueError(
+                f"reserved block {reserved_block} is already occupied"
+            )
+        if self.capacity is not None and len(self) >= self.capacity:
+            raise ValueError("block table is full")
+        self._ensure(self._forward, original_block)
+        self._ensure(self._reverse, reserved_block)
+        if original_block >= len(self._dirty):
+            self._dirty.extend(
+                b"\x00" * (original_block + 1 - len(self._dirty))
+            )
+        self._forward[original_block] = reserved_block
+        self._reverse[reserved_block] = original_block
+        self._dirty[original_block] = 0
+        self._order[original_block] = self._next_seq
+        self._next_seq += 1
+        self._unflushed.add(original_block)
+        return BlockTableEntry(original_block, reserved_block)
+
+    def remove(self, original_block: int) -> BlockTableEntry:
+        """Drop the entry for a block moved back to its original home."""
+        reserved = self.reserved_of(original_block)
+        if reserved == _ABSENT:
+            raise KeyError(
+                f"block {original_block} is not in the block table"
+            )
+        entry = BlockTableEntry(
+            original_block, reserved, bool(self._dirty[original_block])
+        )
+        self._forward[original_block] = _ABSENT
+        self._reverse[reserved] = _ABSENT
+        self._dirty[original_block] = 0
+        del self._order[original_block]
+        self._unflushed.add(original_block)
+        return entry
+
+    def mark_dirty(self, original_block: int) -> None:
+        """Record that the reserved-area copy has been updated."""
+        if original_block not in self:
+            raise KeyError(f"block {original_block} is not in the block table")
+        self._dirty[original_block] = 1
+        self._unflushed.add(original_block)
+
+    def entries(self) -> list[BlockTableEntry]:
+        """All entries, in insertion order (fresh snapshot objects)."""
+        forward = self._forward
+        dirty = self._dirty
+        return [
+            BlockTableEntry(block, forward[block], bool(dirty[block]))
+            for block in self._order
+        ]
+
+    def dirty_entries(self) -> list[BlockTableEntry]:
+        forward = self._forward
+        dirty = self._dirty
+        return [
+            BlockTableEntry(block, forward[block], True)
+            for block in self._order
+            if dirty[block]
+        ]
+
+    def occupied_reserved_blocks(self) -> set[int]:
+        forward = self._forward
+        return {forward[block] for block in self._order}
+
+    def clear(self) -> None:
+        self._drop_memory()
+
+    def _drop_memory(self) -> None:
+        forward = self._forward
+        reverse = self._reverse
+        dirty = self._dirty
+        for block in self._order:
+            reverse[forward[block]] = _ABSENT
+            forward[block] = _ABSENT
+            dirty[block] = 0
+            self._unflushed.add(block)
+        self._order.clear()
+
+    # ------------------------------------------------------------------
+    # On-disk copy and crash recovery
+    # ------------------------------------------------------------------
+
+    def write_to_disk(self) -> None:
+        """Flush the current table to its reserved-area disk copy.
+
+        The driver forces this after every ``DKIOCBCOPY`` and after each
+        block is moved out during ``DKIOCCLEAN`` (Section 4.1.3).  Only
+        the blocks whose state changed since the last flush are folded in;
+        the result — contents *and* iteration order — is identical to a
+        full snapshot of the in-memory table.
+        """
+        if not self._unflushed:
+            return
+        order = self._order
+        disk_map = self._disk_map
+        disk_seq = self._disk_seq
+        present: list[int] = []
+        for block in self._unflushed:
+            if block in order:
+                present.append(block)
+            else:
+                disk_map.pop(block, None)
+                disk_seq.pop(block, None)
+        # Blocks (re)added since their last write must land at the end of
+        # the shadow in insertion order; ascending sequence number is
+        # exactly that order.  Blocks only re-dirtied update in place.
+        present.sort(key=order.__getitem__)
+        forward = self._forward
+        dirty = self._dirty
+        for block in present:
+            seq = order[block]
+            value = (forward[block], bool(dirty[block]))
+            if disk_seq.get(block) == seq:
+                disk_map[block] = value
+            else:
+                disk_map.pop(block, None)
+                disk_map[block] = value
+                disk_seq[block] = seq
+        self._unflushed.clear()
+
+    def disk_copy(self) -> dict[int, tuple[int, bool]]:
+        """A snapshot view of the on-disk table (for tests/inspection)."""
+        return dict(self._disk_map)
+
+    def crash(self) -> None:
+        """Simulate a system crash: the in-memory table is lost."""
+        self._drop_memory()
+
+    def recover(self) -> None:
+        """Rebuild the in-memory table from the disk copy after a crash.
+
+        All entries are marked dirty regardless of their stored bits: "all
+        blocks are marked as dirty when memory-resident copy of the table is
+        recreated after a failure.  This conservative strategy ensures that
+        updates to repositioned blocks will not be lost" (Section 4.1.2).
+        """
+        self._drop_memory()
+        self._unflushed.clear()
+        for original, (reserved, __) in self._disk_map.items():
+            self._ensure(self._forward, original)
+            self._ensure(self._reverse, reserved)
+            if original >= len(self._dirty):
+                self._dirty.extend(
+                    b"\x00" * (original + 1 - len(self._dirty))
+                )
+            self._forward[original] = reserved
+            self._reverse[reserved] = original
+            self._dirty[original] = 1
+            seq = self._next_seq
+            self._next_seq += 1
+            self._order[original] = seq
+            # Re-align the shadow's sequence numbers so the next flush
+            # updates dirty bits in place without reordering.
+            self._disk_seq[original] = seq
+            self._unflushed.add(original)
+
+
+@dataclass
+class DictBlockTable:
+    """The original dict-of-entries block table (reference implementation).
+
+    Semantically identical to :class:`BlockTable`; kept as the executable
+    specification for the equivalence tests.  Unlike the array-backed
+    table, :meth:`entries`/:meth:`lookup` return the *live* entry objects.
     """
 
     capacity: int | None = None
@@ -50,6 +328,10 @@ class BlockTable:
 
     def __contains__(self, original_block: int) -> bool:
         return original_block in self._by_original
+
+    def reserved_of(self, original_block: int) -> int:
+        entry = self._by_original.get(original_block)
+        return _ABSENT if entry is None else entry.reserved_block
 
     def lookup(self, original_block: int) -> BlockTableEntry | None:
         """Entry for ``original_block``, or None if it is not rearranged."""
@@ -111,11 +393,7 @@ class BlockTable:
     # ------------------------------------------------------------------
 
     def write_to_disk(self) -> None:
-        """Flush the current table to its reserved-area disk copy.
-
-        The driver forces this after every ``DKIOCBCOPY`` and after each
-        block is moved out during ``DKIOCCLEAN`` (Section 4.1.3).
-        """
+        """Flush the current table to its reserved-area disk copy."""
         self._disk_copy = {
             entry.original_block: (entry.reserved_block, entry.dirty)
             for entry in self._by_original.values()
@@ -131,13 +409,7 @@ class BlockTable:
         self._by_reserved.clear()
 
     def recover(self) -> None:
-        """Rebuild the in-memory table from the disk copy after a crash.
-
-        All entries are marked dirty regardless of their stored bits: "all
-        blocks are marked as dirty when memory-resident copy of the table is
-        recreated after a failure.  This conservative strategy ensures that
-        updates to repositioned blocks will not be lost" (Section 4.1.2).
-        """
+        """Rebuild the in-memory table from the disk copy after a crash."""
         self._by_original.clear()
         self._by_reserved.clear()
         for original, (reserved, __) in self._disk_copy.items():

@@ -118,6 +118,11 @@ class AdaptiveDiskDriver:
         if self.faults is not None:
             self.faults.bind_label(self.label)
         self._blocks_per_cylinder = self.disk.geometry.blocks_per_cylinder
+        # Pre-size the array-backed redirection map for the whole device
+        # so the hot path never pays incremental growth.
+        reserve = getattr(self.block_table, "reserve", None)
+        if reserve is not None:
+            reserve(self.disk.geometry.total_blocks)
 
     # ------------------------------------------------------------------
     # Attach / recovery
@@ -212,9 +217,9 @@ class AdaptiveDiskDriver:
         # cylinder is plain integer division (no re-validation).
         request.home_cylinder = physical // self._blocks_per_cylinder
 
-        entry = self.block_table.lookup(physical)
-        if entry is not None:
-            request.target_block = entry.reserved_block
+        reserved = self.block_table.reserved_of(physical)
+        if reserved >= 0:
+            request.target_block = reserved
             request.redirected = True
         else:
             request.target_block = self._apply_cylinder_map(physical)
@@ -236,9 +241,9 @@ class AdaptiveDiskDriver:
         """
         physical = self.label.virtual_to_physical_block(request.logical_block)
         request.physical_block = physical
-        entry = self.block_table.lookup(physical)
-        if entry is not None:
-            request.target_block = entry.reserved_block
+        reserved = self.block_table.reserved_of(physical)
+        if reserved >= 0:
+            request.target_block = reserved
             request.redirected = True
         else:
             request.target_block = self._apply_cylinder_map(physical)
@@ -406,9 +411,9 @@ class AdaptiveDiskDriver:
         redirection exactly as the file system would.
         """
         physical = self.label.virtual_to_physical_block(logical_block)
-        entry = self.block_table.lookup(physical)
-        if entry is not None:
-            target = entry.reserved_block
+        reserved = self.block_table.reserved_of(physical)
+        if reserved >= 0:
+            target = reserved
         else:
             target = self._apply_cylinder_map(physical)
         return self.disk.read_data(target)

@@ -59,7 +59,7 @@ class BlockTableInvariants:
                     f"reverse map disagrees for reserved slot "
                     f"{entry.reserved_block}"
                 )
-            if table.lookup(entry.original_block) is not entry:
+            if table.lookup(entry.original_block) != entry:
                 raise InvariantViolation(
                     f"forward map disagrees for block {entry.original_block}"
                 )

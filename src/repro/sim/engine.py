@@ -22,7 +22,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
-from .._compat import deprecated_alias
+from .._compat import removed_alias
 from ..driver.protocol import DeviceDriver
 from ..driver.request import DiskRequest
 from ..obs.tracer import NULL_TRACER, Tracer
@@ -110,7 +110,7 @@ class Simulation:
     # Devices
     # ------------------------------------------------------------------
 
-    @deprecated_alias(name="device")
+    @removed_alias(name="device")
     def add_device(
         self, driver: DeviceDriver, device: str | None = None
     ) -> DeviceState:

@@ -26,8 +26,9 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence, TypeVar
 
-from .._compat import deprecated_alias, deprecated_name
+from .._compat import removed_alias, removed_name
 from ..core.analyzer import ReferenceStreamAnalyzer
+from ..core.counters import COUNTER_STRATEGIES, DEFAULT_FADING
 from ..core.arranger import BlockArranger
 from ..core.controller import RearrangementController
 from ..core.placement import make_policy
@@ -44,8 +45,13 @@ from ..workload.generator import DayWorkload, WorkloadGenerator
 from ..workload.profiles import WorkloadProfile, profile_for_disk
 from .engine import Simulation
 
-PAPER_RESERVED_CYLINDERS = {"toshiba": 48, "fujitsu": 80}
-PAPER_REARRANGED_BLOCKS = {"toshiba": 1018, "fujitsu": 3500}
+PAPER_RESERVED_CYLINDERS = {"toshiba": 48, "fujitsu": 80, "modern": 64}
+PAPER_REARRANGED_BLOCKS = {"toshiba": 1018, "fujitsu": 3500, "modern": 8000}
+
+# Default Space-Saving sketch size: generously above the number of blocks
+# rearranged nightly, so the top-num_blocks ranking is trustworthy (the
+# sketch's error bound shrinks as capacity / distinct-blocks grows).
+MIN_SKETCH_CAPACITY = 4096
 
 
 @dataclass(frozen=True)
@@ -60,12 +66,27 @@ class ExperimentConfig:
     queue_policy: str = "scan"
     analyzer_capacity: int | None = None
     analyzer_heuristic: str = "space-saving"
+    counter: str = "exact"
+    """Analyzer counter strategy: ``"exact"`` (the paper's full per-block
+    counts) or ``"spacesaving"`` (bounded top-k sketch with day-to-day
+    count fading; see :mod:`repro.core.counters`)."""
+    counter_fading: float | None = None
+    """Day-to-day count-aging factor for the ``spacesaving`` counter;
+    ``None`` uses the default (:data:`repro.core.counters.DEFAULT_FADING`).
+    Ignored by the ``exact`` counter."""
     monitor_capacity: int = 65536
     seed: int = 1993
     reserved_center: bool = True  # False: reserved area at the disk edge
     faults: FaultPlan | None = None
     """Deterministic fault injection; ``None`` (or an empty plan) keeps
     the fault machinery entirely off the driver's hot path."""
+
+    def __post_init__(self) -> None:
+        if self.counter not in COUNTER_STRATEGIES:
+            raise ValueError(
+                f"unknown counter strategy {self.counter!r}; "
+                f"known: {', '.join(COUNTER_STRATEGIES)}"
+            )
 
     def resolved_reserved_cylinders(self) -> int:
         if self.reserved_cylinders is not None:
@@ -77,24 +98,33 @@ class ExperimentConfig:
             return self.num_blocks
         return PAPER_REARRANGED_BLOCKS[self.disk]
 
-    # -- deprecated names (block-count keywords are ``num_blocks`` now) --
+    def resolved_analyzer_capacity(self) -> int | None:
+        """The analyzer's list/sketch size.
 
-    @property
-    def num_rearranged(self) -> int | None:
-        deprecated_name(
-            "ExperimentConfig.num_rearranged", "ExperimentConfig.num_blocks"
-        )
-        return self.num_blocks
+        The exact counter defaults to unbounded (the paper's setup); the
+        ``spacesaving`` sketch needs a bound, defaulting to four times the
+        nightly rearrangement count (at least ``MIN_SKETCH_CAPACITY``).
+        """
+        if self.analyzer_capacity is not None:
+            return self.analyzer_capacity
+        if self.counter == "spacesaving":
+            return max(MIN_SKETCH_CAPACITY, 4 * self.resolved_num_blocks())
+        return None
 
-    def resolved_num_rearranged(self) -> int:
-        deprecated_name(
-            "ExperimentConfig.resolved_num_rearranged()",
-            "ExperimentConfig.resolved_num_blocks()",
-        )
-        return self.resolved_num_blocks()
+    def __getattr__(self, name: str):
+        if name == "num_rearranged":
+            raise removed_name(
+                "ExperimentConfig.num_rearranged", "ExperimentConfig.num_blocks"
+            )
+        if name == "resolved_num_rearranged":
+            raise removed_name(
+                "ExperimentConfig.resolved_num_rearranged()",
+                "ExperimentConfig.resolved_num_blocks()",
+            )
+        raise AttributeError(name)
 
 
-ExperimentConfig.__init__ = deprecated_alias(num_rearranged="num_blocks")(
+ExperimentConfig.__init__ = removed_alias(num_rearranged="num_blocks")(
     ExperimentConfig.__init__
 )
 
@@ -164,8 +194,14 @@ class Experiment:
         self.controller = RearrangementController(
             ioctl=self.ioctl,
             analyzer=ReferenceStreamAnalyzer(
-                capacity=config.analyzer_capacity,
+                capacity=config.resolved_analyzer_capacity(),
                 heuristic=config.analyzer_heuristic,
+                counter=config.counter,
+                fading=(
+                    config.counter_fading
+                    if config.counter_fading is not None
+                    else DEFAULT_FADING
+                ),
             ),
             arranger=BlockArranger(
                 self.ioctl, policy=make_policy(config.placement_policy)

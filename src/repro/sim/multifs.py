@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from .._compat import deprecated_alias, deprecated_name
+from .._compat import removed_alias, removed_name
 from ..core.analyzer import ReferenceStreamAnalyzer
 from ..core.arranger import BlockArranger
 from ..core.controller import RearrangementController
@@ -66,7 +66,7 @@ class MultiFSDayResult:
 class MultiFSExperiment:
     """One disk, one reserved area, several file systems."""
 
-    @deprecated_alias(num_rearranged="num_blocks")
+    @removed_alias(num_rearranged="num_blocks")
     def __init__(
         self,
         specs: list[FileSystemSpec],
@@ -138,10 +138,9 @@ class MultiFSExperiment:
 
     @property
     def num_rearranged(self) -> int:
-        deprecated_name(
+        raise removed_name(
             "MultiFSExperiment.num_rearranged", "MultiFSExperiment.num_blocks"
         )
-        return self.num_blocks
 
     def run_day(
         self, rearranged: bool, rearrange_tomorrow: bool
@@ -199,7 +198,7 @@ class MultiFSExperiment:
 class DiskSpec:
     """One physical disk in a multi-device simulation."""
 
-    disk: str  # "toshiba" or "fujitsu"
+    disk: str  # "toshiba", "fujitsu", or "modern"
     profile: WorkloadProfile
     name: str | None = None  # device name; default "<model><index>"
     seed: int = 1993
@@ -210,11 +209,10 @@ class DiskSpec:
 
     @property
     def num_rearranged(self) -> int | None:
-        deprecated_name("DiskSpec.num_rearranged", "DiskSpec.num_blocks")
-        return self.num_blocks
+        raise removed_name("DiskSpec.num_rearranged", "DiskSpec.num_blocks")
 
 
-DiskSpec.__init__ = deprecated_alias(num_rearranged="num_blocks")(
+DiskSpec.__init__ = removed_alias(num_rearranged="num_blocks")(
     DiskSpec.__init__
 )
 

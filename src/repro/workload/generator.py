@@ -505,8 +505,13 @@ class WorkloadGenerator:
             burst.append(self.fs.superblock())
             burst.extend(sorted(self._groups_allocated))
         self._groups_allocated.clear()
+        # Order-preserving dedup via a set shadow: the burst keeps exactly
+        # the sequence the old list-membership scan produced, without the
+        # O(len(burst)) probe per dirty block.
+        in_burst = set(burst)
         for block in dirty:
-            if block not in burst:
+            if block not in in_burst:
+                in_burst.add(block)
                 burst.append(block)
         jobs.append(batch_job(when, burst, Op.WRITE, name="sync"))
 
@@ -519,12 +524,25 @@ class WorkloadGenerator:
     # -- accounting -----------------------------------------------------
 
     def _count(self, workload: DayWorkload) -> None:
+        """Tally per-block reference counts for the day's jobs.
+
+        Counting goes through ``numpy.unique`` instead of a per-step dict
+        update; the count *values* are identical and no consumer depends
+        on the dicts' insertion order.
+        """
+        all_blocks: list[int] = []
+        read_blocks: list[int] = []
         for job in workload.jobs:
             for step in job.steps:
-                workload.all_counts[step.logical_block] = (
-                    workload.all_counts.get(step.logical_block, 0) + 1
-                )
+                all_blocks.append(step.logical_block)
                 if step.op is Op.READ:
-                    workload.read_counts[step.logical_block] = (
-                        workload.read_counts.get(step.logical_block, 0) + 1
-                    )
+                    read_blocks.append(step.logical_block)
+        for blocks, counts in (
+            (all_blocks, workload.all_counts),
+            (read_blocks, workload.read_counts),
+        ):
+            if blocks:
+                unique, tallies = np.unique(
+                    np.asarray(blocks, dtype=np.int64), return_counts=True
+                )
+                counts.update(zip(unique.tolist(), tallies.tolist()))

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from .._compat import deprecated_alias
+from .._compat import removed_alias
 
 
 @dataclass(frozen=True)
@@ -192,7 +192,7 @@ PROFILES = {
 }
 
 
-@deprecated_alias(base="profile")
+@removed_alias(base="profile")
 def profile_for_disk(profile: WorkloadProfile, disk: str) -> WorkloadProfile:
     """Adapt a preset profile to the disk it runs on, as the paper did.
 
@@ -211,6 +211,19 @@ def profile_for_disk(profile: WorkloadProfile, disk: str) -> WorkloadProfile:
         )
     if profile.name == "users" and disk == "toshiba":
         return replace(profile, num_directories=10)
+    if disk == "modern":
+        # The synthetic ~8 GB drive serves a far larger tree than the
+        # paper's servers: widen the directory fan-out and raise traffic
+        # so a day's working set spans the multi-million-block device
+        # (its 4 KB blocks also double every file's block count).
+        return replace(
+            profile,
+            num_directories=profile.num_directories * 8,
+            mean_file_blocks=profile.mean_file_blocks * 2,
+            max_file_blocks=profile.max_file_blocks * 2,
+            read_sessions_per_hour=profile.read_sessions_per_hour * 4,
+            open_sessions_per_hour=profile.open_sessions_per_hour * 2,
+        )
     return profile
 
 

@@ -79,74 +79,51 @@ class TestFacade:
             run_bench(["warp_drive"], quick=True)
 
 
-class TestDeprecatedAliases:
-    """Every renamed keyword keeps working but warns exactly once."""
-
-    def _sole_warning(self, record):
-        assert len(record) == 1, [str(w.message) for w in record]
-        assert issubclass(record[0].category, DeprecationWarning)
-        return str(record[0].message)
+class TestRemovedAliases:
+    """The one-release deprecated keywords are gone; the errors say what
+    replaced them instead of the stock unexpected-keyword message."""
 
     def test_experiment_config_num_rearranged_kwarg(self):
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            config = ExperimentConfig(
-                profile=SYSTEM_FS_PROFILE, num_rearranged=64
-            )
-        assert "num_blocks" in self._sole_warning(record)
-        assert config.num_blocks == 64
+        with pytest.raises(TypeError, match="removed.*num_blocks"):
+            ExperimentConfig(profile=SYSTEM_FS_PROFILE, num_rearranged=64)
 
     def test_experiment_config_num_rearranged_property(self):
         config = ExperimentConfig(profile=SYSTEM_FS_PROFILE, num_blocks=64)
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            assert config.num_rearranged == 64
-        self._sole_warning(record)
+        with pytest.raises(AttributeError, match="removed.*num_blocks"):
+            config.num_rearranged
 
     def test_experiment_config_resolved_num_rearranged(self):
         config = ExperimentConfig(profile=SYSTEM_FS_PROFILE)
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            assert config.resolved_num_rearranged() == 1018
-        self._sole_warning(record)
-
-    def test_both_old_and_new_keyword_is_an_error(self):
-        with pytest.raises(TypeError, match="deprecated"):
-            ExperimentConfig(
-                profile=SYSTEM_FS_PROFILE, num_rearranged=1, num_blocks=2
-            )
+        with pytest.raises(
+            AttributeError, match="removed.*resolved_num_blocks"
+        ):
+            config.resolved_num_rearranged()
 
     def test_disk_model_name_kwarg(self):
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            assert disk_model(name="toshiba") is TOSHIBA_MK156F
-        assert "disk" in self._sole_warning(record)
+        with pytest.raises(TypeError, match="removed.*'disk'"):
+            disk_model(name="toshiba")
 
     def test_profile_for_disk_base_kwarg(self):
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            adapted = profile_for_disk(base=SYSTEM_FS_PROFILE, disk="fujitsu")
-        assert "profile" in self._sole_warning(record)
-        assert adapted.num_directories == 30
+        with pytest.raises(TypeError, match="removed.*'profile'"):
+            profile_for_disk(base=SYSTEM_FS_PROFILE, disk="fujitsu")
 
     def test_add_device_name_kwarg(self):
         from tests.test_multidevice import FixedLatencyDriver
 
         simulation = Simulation()
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            state = simulation.add_device(FixedLatencyDriver(1.0), name="a")
-        assert "device" in self._sole_warning(record)
-        assert state.name == "a"
+        with pytest.raises(TypeError, match="removed.*'device'"):
+            simulation.add_device(FixedLatencyDriver(1.0), name="a")
 
     def test_disk_spec_num_rearranged_kwarg(self):
-        with warnings.catch_warnings(record=True) as record:
-            warnings.simplefilter("always")
-            spec = DiskSpec(
+        with pytest.raises(TypeError, match="removed.*num_blocks"):
+            DiskSpec(
                 disk="toshiba", profile=SYSTEM_FS_PROFILE, num_rearranged=7
             )
-        self._sole_warning(record)
-        assert spec.num_blocks == 7
+
+    def test_disk_spec_num_rearranged_property(self):
+        spec = DiskSpec(disk="toshiba", profile=SYSTEM_FS_PROFILE)
+        with pytest.raises(AttributeError, match="removed.*num_blocks"):
+            spec.num_rearranged
 
     def test_new_names_do_not_warn(self):
         with warnings.catch_warnings(record=True) as record:

@@ -1,46 +1,74 @@
-"""Tests for repro.driver.blocktable — redirection map and recovery."""
+"""Tests for repro.driver.blocktable — redirection map and recovery.
+
+Both implementations — the array-backed :class:`BlockTable` (the default)
+and the dict-of-entries :class:`DictBlockTable` (the reference) — must pass
+the same contract tests, and a randomized mirror test drives them through
+identical add/remove/dirty/flush/crash/recover interleavings (seeded like
+the fault stress suite; reproduce with ``FAULT_STRESS_SEED=<n>``) and
+requires identical observable state after every step.
+"""
+
+import os
+import random
 
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.driver.blocktable import BlockTable
+from repro.driver.blocktable import BlockTable, DictBlockTable
+
+IMPLEMENTATIONS = [BlockTable, DictBlockTable]
+
+STRESS_SEEDS = [3, 17, 1993]
+if os.environ.get("FAULT_STRESS_SEED"):
+    STRESS_SEEDS.append(int(os.environ["FAULT_STRESS_SEED"]))
+
+
+@pytest.fixture(params=IMPLEMENTATIONS, ids=lambda cls: cls.__name__)
+def make_table(request):
+    return request.param
 
 
 class TestBasicOperations:
-    def test_empty_table(self):
-        table = BlockTable()
+    def test_empty_table(self, make_table):
+        table = make_table()
         assert len(table) == 0
         assert table.lookup(5) is None
         assert 5 not in table
 
-    def test_add_and_lookup(self):
-        table = BlockTable()
+    def test_add_and_lookup(self, make_table):
+        table = make_table()
         entry = table.add(100, 9000)
-        assert table.lookup(100) is entry
+        assert table.lookup(100) == entry
         assert entry.reserved_block == 9000
         assert not entry.dirty
         assert 100 in table
 
-    def test_reverse_lookup(self):
-        table = BlockTable()
+    def test_reserved_of(self, make_table):
+        table = make_table()
+        table.add(100, 9000)
+        assert table.reserved_of(100) == 9000
+        assert table.reserved_of(101) == -1
+
+    def test_reverse_lookup(self, make_table):
+        table = make_table()
         table.add(100, 9000)
         assert table.original_of(9000) == 100
         assert table.original_of(9001) is None
 
-    def test_duplicate_original_rejected(self):
-        table = BlockTable()
+    def test_duplicate_original_rejected(self, make_table):
+        table = make_table()
         table.add(100, 9000)
         with pytest.raises(ValueError):
             table.add(100, 9001)
 
-    def test_occupied_reserved_slot_rejected(self):
-        table = BlockTable()
+    def test_occupied_reserved_slot_rejected(self, make_table):
+        table = make_table()
         table.add(100, 9000)
         with pytest.raises(ValueError):
             table.add(200, 9000)
 
-    def test_remove(self):
-        table = BlockTable()
+    def test_remove(self, make_table):
+        table = make_table()
         table.add(100, 9000)
         entry = table.remove(100)
         assert entry.original_block == 100
@@ -49,69 +77,77 @@ class TestBasicOperations:
         # The freed slot can be reused.
         table.add(300, 9000)
 
-    def test_remove_missing_raises(self):
+    def test_remove_missing_raises(self, make_table):
         with pytest.raises(KeyError):
-            BlockTable().remove(4)
+            make_table().remove(4)
 
-    def test_capacity_enforced(self):
-        table = BlockTable(capacity=1)
+    def test_capacity_enforced(self, make_table):
+        table = make_table(capacity=1)
         table.add(1, 9000)
         with pytest.raises(ValueError):
             table.add(2, 9001)
 
-    def test_entries_in_insertion_order(self):
-        table = BlockTable()
+    def test_entries_in_insertion_order(self, make_table):
+        table = make_table()
         table.add(5, 9000)
         table.add(3, 9001)
         assert [e.original_block for e in table.entries()] == [5, 3]
 
-    def test_clear(self):
-        table = BlockTable()
+    def test_readd_moves_to_end_of_insertion_order(self, make_table):
+        table = make_table()
+        table.add(5, 9000)
+        table.add(3, 9001)
+        table.remove(5)
+        table.add(5, 9002)
+        assert [e.original_block for e in table.entries()] == [3, 5]
+
+    def test_clear(self, make_table):
+        table = make_table()
         table.add(5, 9000)
         table.clear()
         assert len(table) == 0
 
 
 class TestDirtyBits:
-    def test_mark_dirty(self):
-        table = BlockTable()
+    def test_mark_dirty(self, make_table):
+        table = make_table()
         table.add(100, 9000)
         table.mark_dirty(100)
         assert table.lookup(100).dirty
         assert [e.original_block for e in table.dirty_entries()] == [100]
 
-    def test_mark_dirty_missing_raises(self):
+    def test_mark_dirty_missing_raises(self, make_table):
         with pytest.raises(KeyError):
-            BlockTable().mark_dirty(100)
+            make_table().mark_dirty(100)
 
 
 class TestPersistenceAndRecovery:
-    def test_disk_copy_reflects_writes(self):
-        table = BlockTable()
+    def test_disk_copy_reflects_writes(self, make_table):
+        table = make_table()
         table.add(100, 9000)
         table.write_to_disk()
         assert table.disk_copy() == {100: (9000, False)}
 
-    def test_disk_copy_is_stale_until_written(self):
+    def test_disk_copy_is_stale_until_written(self, make_table):
         """The disk copy lags the memory table — in particular, dirty bits
         'may not always be up-to-date in the disk-resident copy'."""
-        table = BlockTable()
+        table = make_table()
         table.add(100, 9000)
         table.write_to_disk()
         table.mark_dirty(100)  # not flushed
         assert table.disk_copy()[100] == (9000, False)
 
-    def test_crash_loses_memory_table(self):
-        table = BlockTable()
+    def test_crash_loses_memory_table(self, make_table):
+        table = make_table()
         table.add(100, 9000)
         table.write_to_disk()
         table.crash()
         assert len(table) == 0
 
-    def test_recover_marks_everything_dirty(self):
+    def test_recover_marks_everything_dirty(self, make_table):
         """Section 4.1.2: after a failure all entries are conservatively
         marked dirty so updates are never lost."""
-        table = BlockTable()
+        table = make_table()
         table.add(100, 9000)
         table.add(200, 9001)
         table.write_to_disk()
@@ -121,8 +157,8 @@ class TestPersistenceAndRecovery:
         assert all(entry.dirty for entry in table.entries())
         assert table.lookup(100).reserved_block == 9000
 
-    def test_entries_added_after_flush_are_lost_in_crash(self):
-        table = BlockTable()
+    def test_entries_added_after_flush_are_lost_in_crash(self, make_table):
+        table = make_table()
         table.add(100, 9000)
         table.write_to_disk()
         table.add(200, 9001)  # never flushed
@@ -131,13 +167,31 @@ class TestPersistenceAndRecovery:
         assert table.lookup(200) is None
         assert table.lookup(100) is not None
 
-    def test_recover_restores_reverse_index(self):
-        table = BlockTable()
+    def test_recover_restores_reverse_index(self, make_table):
+        table = make_table()
         table.add(100, 9000)
         table.write_to_disk()
         table.crash()
         table.recover()
         assert table.original_of(9000) == 100
+
+    def test_readd_between_flushes_reorders_disk_copy(self, make_table):
+        """An entry removed and re-added lands at the end of the disk copy,
+        exactly as a full snapshot of the memory table would place it."""
+        table = make_table()
+        table.add(1, 9000)
+        table.add(2, 9001)
+        table.add(3, 9002)
+        table.write_to_disk()
+        table.remove(2)
+        table.add(2, 9003)
+        table.mark_dirty(1)
+        table.write_to_disk()
+        assert list(table.disk_copy().items()) == [
+            (1, (9000, True)),
+            (3, (9002, False)),
+            (2, (9003, False)),
+        ]
 
 
 @given(
@@ -186,3 +240,91 @@ def test_crash_recovery_preserves_flushed_mapping(pairs, dirty_index):
     table.recover()
     assert sorted((e.original_block, e.reserved_block) for e in table.entries()) == sorted(pairs)
     assert all(e.dirty for e in table.entries())
+
+
+def _observable_state(table):
+    return {
+        "len": len(table),
+        "entries": [
+            (e.original_block, e.reserved_block, e.dirty)
+            for e in table.entries()
+        ],
+        "dirty": [e.original_block for e in table.dirty_entries()],
+        "occupied": sorted(table.occupied_reserved_blocks()),
+        "disk": list(table.disk_copy().items()),
+    }
+
+
+@pytest.mark.parametrize("seed", STRESS_SEEDS)
+def test_array_table_matches_dict_table_under_stress(seed):
+    """The array table is observably identical to the dict reference.
+
+    Drives both implementations through the same seeded interleaving of
+    add / remove / mark_dirty / write_to_disk / crash / recover (the same
+    operation mix the fault-injection paths use: media-error evictions
+    remove and later re-add blocks between flushes) and compares the full
+    observable state — entry order, dirty bits, reverse map, and the
+    on-disk copy's contents *and* iteration order — after every step.
+    """
+    rng = random.Random(seed)
+    array_table = BlockTable(capacity=64)
+    dict_table = DictBlockTable(capacity=64)
+    originals = list(range(0, 400))
+    reserveds = list(range(5000, 5400))
+    for _ in range(600):
+        op = rng.choices(
+            ["add", "remove", "dirty", "flush", "crash_recover", "lookup"],
+            weights=[40, 20, 20, 10, 3, 7],
+        )[0]
+        if op == "add":
+            original = rng.choice(originals)
+            reserved = rng.choice(reserveds)
+            try:
+                a = array_table.add(original, reserved)
+            except ValueError as exc:
+                with pytest.raises(ValueError, match=str(exc)):
+                    dict_table.add(original, reserved)
+            else:
+                d = dict_table.add(original, reserved)
+                assert a == d
+        elif op == "remove":
+            original = rng.choice(originals)
+            try:
+                a = array_table.remove(original)
+            except KeyError:
+                with pytest.raises(KeyError):
+                    dict_table.remove(original)
+            else:
+                d = dict_table.remove(original)
+                assert a == d
+        elif op == "dirty":
+            original = rng.choice(originals)
+            try:
+                array_table.mark_dirty(original)
+            except KeyError:
+                with pytest.raises(KeyError):
+                    dict_table.mark_dirty(original)
+            else:
+                dict_table.mark_dirty(original)
+        elif op == "flush":
+            array_table.write_to_disk()
+            dict_table.write_to_disk()
+        elif op == "crash_recover":
+            array_table.crash()
+            dict_table.crash()
+            assert _observable_state(array_table) == _observable_state(
+                dict_table
+            )
+            array_table.recover()
+            dict_table.recover()
+        else:
+            probe = rng.choice(originals)
+            assert array_table.lookup(probe) == dict_table.lookup(probe)
+            assert array_table.reserved_of(probe) == dict_table.reserved_of(
+                probe
+            )
+            reserved_probe = rng.choice(reserveds)
+            assert array_table.original_of(
+                reserved_probe
+            ) == dict_table.original_of(reserved_probe)
+        assert _observable_state(array_table) == _observable_state(dict_table)

@@ -253,8 +253,9 @@ class TestInvariantChecker:
         driver, ioctl = make_rig()
         slots = ioctl.get_reserved_area().data_blocks
         driver.block_table.add(10, slots[0])
-        entry = driver.block_table.add(11, slots[1])
-        entry.reserved_block = slots[0]  # corrupt behind the table's back
+        driver.block_table.add(11, slots[1])
+        # Corrupt the forward map behind the reverse map's back.
+        driver.block_table._forward[11] = slots[0]
         with pytest.raises(InvariantViolation):
             BlockTableInvariants(driver.label).check(driver.block_table)
 
