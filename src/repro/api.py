@@ -27,6 +27,8 @@ from typing import Sequence
 from pathlib import Path
 
 from .bench import BenchReport, get_scenarios, run_suite
+from .fleet import FleetResult, FleetSpec
+from .fleet import run_fleet as _run_fleet
 from .obs.tracer import NULL_TRACER, Tracer
 from .sim.experiment import (
     CampaignResult,
@@ -46,11 +48,14 @@ __all__ = [
     "CampaignResult",
     "DayResult",
     "ExperimentConfig",
+    "FleetResult",
+    "FleetSpec",
     "TraceReplayResult",
     "make_config",
     "replay_trace",
     "run_bench",
     "run_campaign",
+    "run_fleet",
     "simulate_day",
 ]
 
@@ -191,6 +196,60 @@ def replay_trace(
     )
     result.ingest = ingested
     return result
+
+
+def run_fleet(
+    spec: FleetSpec | None = None,
+    *,
+    devices: int = 64,
+    disk: str = "fujitsu",
+    days: int = 3,
+    hours: float | None = None,
+    devices_per_shard: int = 8,
+    tenants: int = 256,
+    tenant_skew: float = 1.1,
+    hot_set_overlap: float = 0.5,
+    seed: int = 1993,
+    workers: int | None = None,
+    on_shard=None,
+    **overrides: object,
+) -> FleetResult:
+    """Run a multi-device fleet experiment; see ``docs/fleet.md``.
+
+    Pass a full :class:`FleetSpec` for every knob, or use the keyword
+    shorthand: ``devices`` disks of model ``disk``, serving ``tenants``
+    users (Zipf-skewed by ``tenant_skew``) whose hot content overlaps
+    across devices by ``hot_set_overlap``.  Devices are grouped into
+    shards of ``devices_per_shard`` and fanned out to ``workers``
+    processes (``None`` = one per shard up to the CPU count).
+
+    The result's percentiles, on/off delta, and digest depend only on
+    the spec — never on ``workers`` — so runs are reproducible at any
+    parallelism.  Remaining keywords pass through to :class:`FleetSpec`
+    (``num_blocks=``, ``counter=``, ``schedule=``, ``tenancy=`` for a
+    full :class:`~repro.workload.tenancy.TenancySpec`, ...).
+    """
+    if spec is None:
+        from .workload.tenancy import TenancySpec
+
+        tenancy = overrides.pop("tenancy", None)
+        if tenancy is None:
+            tenancy = TenancySpec(
+                tenants=tenants,
+                tenant_skew=tenant_skew,
+                hot_set_overlap=hot_set_overlap,
+            )
+        spec = FleetSpec(
+            devices=devices,
+            disk=disk,
+            days=days,
+            hours=hours,
+            devices_per_shard=devices_per_shard,
+            tenancy=tenancy,
+            seed=seed,
+            **overrides,
+        )
+    return _run_fleet(spec, workers=workers, on_shard=on_shard)
 
 
 def run_bench(

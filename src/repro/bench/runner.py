@@ -197,6 +197,12 @@ def run_scenario(
         if measure_memory
         else None
     )
+    machine = machine_metadata()
+    if "workers" in result.detail:
+        # Multi-process scenarios (the fleet): wall-clock depends on the
+        # worker count, so the execution width is machine metadata — a
+        # baseline timed at one width must not gate a run at another.
+        machine["workers"] = result.detail["workers"]
     return BenchReport(
         scenario=scenario.name,
         mode="quick" if quick else "full",
@@ -207,7 +213,7 @@ def run_scenario(
         metrics_digest=digest,
         calibration=calibration,
         peak_mem_bytes=peak_mem,
-        machine=machine_metadata(),
+        machine=machine,
         detail=dict(result.detail),
     )
 
@@ -265,6 +271,11 @@ def write_baseline(
                 "metrics_digest": report.metrics_digest,
                 "calibration": report.calibration,
                 "peak_mem_bytes": report.peak_mem_bytes,
+                **(
+                    {"workers": report.machine["workers"]}
+                    if "workers" in report.machine
+                    else {}
+                ),
             }
             for report in reports
         },
@@ -340,6 +351,20 @@ def compare_reports(
                 f"(baseline {base_digest[:23]}..., "
                 f"run {report.metrics_digest[:23]}...) — simulated "
                 "behavior is no longer identical"
+            )
+            continue
+        base_workers = entry.get("workers")
+        run_workers = report.machine.get("workers")
+        if (
+            base_workers is not None
+            and run_workers is not None
+            and base_workers != run_workers
+        ):
+            problems.append(
+                f"{report.scenario}: worker-count mismatch (baseline "
+                f"timed with {base_workers} worker(s), run used "
+                f"{run_workers}) — wall-clock is not comparable; rerun "
+                "with matching --workers or regenerate the baseline"
             )
             continue
         base_cal = float(entry.get("calibration") or 0.0)

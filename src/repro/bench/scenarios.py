@@ -33,6 +33,15 @@ Three scenarios cover the simulator's hot paths from three angles:
     streaming sketch, and the vectorized placement pipeline against both
     time and peak-memory regressions on a multi-million-block device.
 
+``fleet_day``
+    The fleet stack end to end (``docs/fleet.md``): multi-tenant
+    workload derivation, sharded ``MultiDiskExperiment`` execution, and
+    streaming log-histogram aggregation.  Quick mode runs 64 Fujitsu
+    devices (130,982 blocks each, 8 shards); full mode runs 1,000
+    ``modern`` devices (2,097,152 blocks each, 125 shards).  Runs with
+    ``workers=1`` so wall-clock and peak memory stay machine-comparable;
+    the digest is identical at any worker count by construction.
+
 Every scenario is deterministic: fixed seeds, fixed day lengths per mode.
 ``quick`` mode shrinks the simulated day so CI can afford the suite; the
 digests of quick and full runs differ (different workloads) but each is
@@ -208,6 +217,47 @@ def _large_disk(quick: bool) -> ScenarioResult:
     return result
 
 
+def _fleet_day(quick: bool) -> ScenarioResult:
+    from ..fleet import FleetSpec, run_fleet
+    from ..workload.tenancy import TenancySpec
+
+    if quick:
+        devices, disk, tenants, hours = 64, "fujitsu", 256, 0.05
+    else:
+        devices, disk, tenants, hours = 1000, "modern", 4000, 0.05
+    spec = FleetSpec(
+        devices=devices,
+        disk=disk,
+        days=2,
+        hours=hours,
+        devices_per_shard=8,
+        tenancy=TenancySpec(tenants=tenants),
+        seed=1993,
+    )
+    # workers=1 keeps the timing machine-comparable (and tracemalloc
+    # sees every allocation); the digest is identical at any width —
+    # the fleet regression tests pin workers=1 against workers=8.
+    result = run_fleet(spec, workers=1)
+    return ScenarioResult(
+        payload=result.payload(),
+        events=result.events,
+        requests=result.total_requests,
+        detail={
+            "disk": disk,
+            "devices": devices,
+            "shards": spec.num_shards,
+            "tenants": tenants,
+            "hours": hours,
+            "days": 2,
+            "workers": 1,
+            "p50_ms": result.p50_ms,
+            "p95_ms": result.p95_ms,
+            "p99_ms": result.p99_ms,
+            "fleet_digest": result.digest(),
+        },
+    )
+
+
 def _trace_replay(quick: bool) -> ScenarioResult:
     from ..traces import fixture_path, ingest_trace, replay_jobs
 
@@ -286,6 +336,11 @@ SCENARIOS: dict[str, Scenario] = {
             "large_disk",
             "standard day on the 2M-block modern disk, spacesaving counter",
             _large_disk,
+        ),
+        Scenario(
+            "fleet_day",
+            "sharded multi-tenant fleet day with streaming aggregation",
+            _fleet_day,
         ),
     )
 }

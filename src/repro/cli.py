@@ -9,6 +9,7 @@ Subcommands::
     python -m repro ingest   server.blktrace --mapping compact --out day0.trace
     python -m repro replay   day0.trace --disk toshiba [--rearrange]
     python -m repro trace    run.jsonl --disk toshiba
+    python -m repro fleet    --devices 64 --workers 8 --progress
     python -m repro bench    [--quick] [--compare BASELINE.json]
 
 ``ingest`` converts a raw external block trace (blkparse text output or
@@ -323,6 +324,45 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_fleet(args) -> int:
+    from .fleet import FleetSpec, render_fleet, run_fleet
+    from .obs import ShardProgress
+    from .workload.tenancy import TenancySpec
+
+    try:
+        spec = FleetSpec(
+            devices=args.devices,
+            disk=args.disk,
+            days=args.days,
+            hours=args.hours,
+            devices_per_shard=args.devices_per_shard,
+            num_blocks=args.blocks,
+            counter=args.counter,
+            seed=args.seed,
+            tenancy=TenancySpec(
+                tenants=args.tenants,
+                tenant_skew=args.tenant_skew,
+                hot_set_overlap=args.overlap,
+                profile=args.profile,
+            ),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"bad fleet spec: {exc}")
+    progress = (
+        ShardProgress(spec.num_shards, what="fleet shard")
+        if args.progress
+        else None
+    )
+    result = run_fleet(spec, workers=args.workers, on_shard=progress)
+    if args.json:
+        import json
+
+        print(json.dumps(result.payload(), indent=2, sort_keys=True))
+    else:
+        print(render_fleet(result))
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .bench import (
         BenchError,
@@ -514,6 +554,65 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--day", type=int, default=0)
     trace.add_argument("--rearranged", action="store_true")
     trace.set_defaults(func=cmd_trace)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-device fleet run: sharded, multi-tenant, streaming "
+        "aggregation (see docs/fleet.md)",
+    )
+    fleet.add_argument("--devices", type=int, default=64)
+    fleet.add_argument("--disk", choices=DISK_CHOICES, default="fujitsu")
+    fleet.add_argument(
+        "--days", type=int, default=3,
+        help="one training (off) day, then rearranged days",
+    )
+    fleet.add_argument(
+        "--hours", type=float, default=None,
+        help="length of each measurement day (default: the profile's 15h)",
+    )
+    fleet.add_argument(
+        "--devices-per-shard", type=int, default=8,
+        help="shard width; part of the spec (affects seeds), unlike "
+        "--workers which never changes results",
+    )
+    fleet.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes (default: one per shard up to the CPU "
+        "count; results are identical at any value)",
+    )
+    fleet.add_argument("--tenants", type=int, default=256)
+    fleet.add_argument(
+        "--tenant-skew", type=float, default=1.1,
+        help="Zipf exponent of per-tenant traffic shares",
+    )
+    fleet.add_argument(
+        "--overlap", type=float, default=0.5,
+        help="fraction of each device's hot set drawn from the "
+        "fleet-wide shared hot set",
+    )
+    fleet.add_argument(
+        "--profile", choices=sorted(PROFILES), default="system",
+        help="base preset the per-device tenant profiles derive from",
+    )
+    fleet.add_argument(
+        "--blocks", type=int, default=None,
+        help="blocks each device rearranges nightly (default: the "
+        "paper's per-model choice)",
+    )
+    fleet.add_argument(
+        "--counter", choices=("exact", "spacesaving"), default="spacesaving",
+        help="analyzer counter strategy (bounded sketch by default)",
+    )
+    fleet.add_argument("--seed", type=int, default=1993)
+    fleet.add_argument(
+        "--progress", action="store_true",
+        help="print a line per completed shard to stderr",
+    )
+    fleet.add_argument(
+        "--json", action="store_true",
+        help="print the full canonical result payload as JSON",
+    )
+    fleet.set_defaults(func=cmd_fleet)
 
     bench = sub.add_parser(
         "bench", help="time the scenario suite; gate against a baseline"

@@ -1,0 +1,35 @@
+"""Fleet-scale simulation: many devices, sharded across worker processes.
+
+The paper rearranged blocks on one server's two disks.  This package
+asks the production question: what does adaptive rearrangement buy
+across a *fleet* — hundreds to thousands of devices serving a shared
+multi-tenant workload?  It composes three layers built below it:
+
+* :mod:`repro.workload.tenancy` shapes the traffic: tenants with a Zipf
+  load skew, deterministically assigned to devices, over a fleet-wide
+  shared hot set.
+* :class:`~repro.sim.multifs.MultiDiskExperiment` runs each *shard* (a
+  contiguous group of devices) behind one simulation engine.
+* :mod:`repro.parallel` fans shards out to worker processes, and
+  :class:`~repro.stats.streaming.LogHistogram` brings the results back
+  as fixed-size mergeable histograms instead of raw samples.
+
+Determinism contract: the shard layout and every seed derive from
+:class:`FleetSpec` alone (via ``SeedSequence.spawn``), never from the
+worker count — ``run_fleet(spec, workers=1)`` and ``workers=8`` produce
+bit-identical digests.
+"""
+
+from .result import FleetResult, ShardResult, render_fleet
+from .runner import ShardTask, build_shard_tasks, run_fleet
+from .spec import FleetSpec
+
+__all__ = [
+    "FleetResult",
+    "FleetSpec",
+    "ShardResult",
+    "ShardTask",
+    "build_shard_tasks",
+    "render_fleet",
+    "run_fleet",
+]

@@ -1,0 +1,234 @@
+"""Fleet results: shard summaries, merged percentiles, stable digests.
+
+A fleet run reduces to one :class:`ShardResult` per shard — mergeable
+log-scale service-time histograms split by rearrangement on/off days,
+plus per-device request totals — and :class:`FleetResult` folds those
+into fleet-wide answers: p50/p95/p99 service time, the on-vs-off
+improvement, per-shard load skew.
+
+The digest deliberately excludes execution details (worker count): it is
+a function of :class:`~repro.fleet.spec.FleetSpec` alone, which is what
+lets the bench gate pin one committed digest and the regression tests
+assert ``workers=1`` equals ``workers=8`` bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from ..stats.streaming import LogHistogram, merge_histograms
+from .spec import FleetSpec
+
+__all__ = ["FleetResult", "ShardResult", "render_fleet"]
+
+
+@dataclass
+class ShardResult:
+    """One shard's aggregated outcome (the only thing workers ship back)."""
+
+    index: int
+    seed: int
+    device_requests: dict[str, int]
+    service_on: LogHistogram
+    service_off: LogHistogram
+    rearranged_blocks: int
+    """Blocks sitting in the shard's reserved areas after the last day."""
+    days: int
+    events: int = 0
+    """Simulation events dispatched across the shard's whole schedule."""
+
+    @property
+    def requests(self) -> int:
+        return sum(self.device_requests.values())
+
+    @property
+    def devices(self) -> int:
+        return len(self.device_requests)
+
+    @property
+    def skew(self) -> float:
+        """Load imbalance inside the shard: max/mean device requests."""
+        if not self.device_requests:
+            return 0.0
+        values = list(self.device_requests.values())
+        mean = sum(values) / len(values)
+        return max(values) / mean if mean > 0 else 0.0
+
+    def payload(self) -> dict:
+        return {
+            "index": self.index,
+            "seed": self.seed,
+            "device_requests": {
+                name: self.device_requests[name]
+                for name in sorted(self.device_requests)
+            },
+            "service_on": self.service_on.payload(),
+            "service_off": self.service_off.payload(),
+            "rearranged_blocks": self.rearranged_blocks,
+            "days": self.days,
+            "events": self.events,
+        }
+
+
+@dataclass
+class FleetResult:
+    """A whole fleet day (or days), aggregated from shard results."""
+
+    spec: FleetSpec
+    shards: list[ShardResult]
+    workers: int | None = None
+    """How many worker processes executed the run — recorded for bench
+    metadata, excluded from :meth:`payload` and :meth:`digest`."""
+    _service_on: LogHistogram | None = field(
+        default=None, repr=False, compare=False
+    )
+    _service_off: LogHistogram | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- merged distributions -------------------------------------------
+
+    @property
+    def service_on(self) -> LogHistogram:
+        """Fleet-wide service times on rearranged days."""
+        if self._service_on is None:
+            self._service_on = merge_histograms(
+                shard.service_on for shard in self.shards
+            )
+        return self._service_on
+
+    @property
+    def service_off(self) -> LogHistogram:
+        """Fleet-wide service times on unrearranged (training) days."""
+        if self._service_off is None:
+            self._service_off = merge_histograms(
+                shard.service_off for shard in self.shards
+            )
+        return self._service_off
+
+    def service_percentile_ms(self, q: float, rearranged: bool = True) -> float:
+        hist = self.service_on if rearranged else self.service_off
+        return hist.percentile(q)
+
+    @property
+    def p50_ms(self) -> float:
+        return self.service_percentile_ms(0.50)
+
+    @property
+    def p95_ms(self) -> float:
+        return self.service_percentile_ms(0.95)
+
+    @property
+    def p99_ms(self) -> float:
+        return self.service_percentile_ms(0.99)
+
+    @property
+    def onoff_service_delta(self) -> float:
+        """Fractional mean-service-time reduction, rearranged vs not."""
+        off = self.service_off.mean_ms
+        if off == 0:
+            return 0.0
+        return 1.0 - self.service_on.mean_ms / off
+
+    # -- fleet totals ----------------------------------------------------
+
+    @property
+    def devices(self) -> int:
+        return sum(shard.devices for shard in self.shards)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(shard.requests for shard in self.shards)
+
+    @property
+    def events(self) -> int:
+        return sum(shard.events for shard in self.shards)
+
+    @property
+    def rearranged_blocks(self) -> int:
+        return sum(shard.rearranged_blocks for shard in self.shards)
+
+    def shard_skews(self) -> dict[int, float]:
+        return {shard.index: shard.skew for shard in self.shards}
+
+    # -- stable identity -------------------------------------------------
+
+    def payload(self) -> dict:
+        """Canonical JSON-able form; a pure function of the spec."""
+        spec = self.spec
+        return {
+            "spec": {
+                "devices": spec.devices,
+                "disk": spec.disk,
+                "days": list(spec.resolved_schedule()),
+                "hours": spec.hours,
+                "devices_per_shard": spec.devices_per_shard,
+                "num_blocks": spec.num_blocks,
+                "counter": spec.counter,
+                "placement_policy": spec.placement_policy,
+                "queue_policy": spec.queue_policy,
+                "seed": spec.seed,
+                "tenancy": {
+                    "tenants": spec.tenancy.tenants,
+                    "tenant_skew": spec.tenancy.tenant_skew,
+                    "hot_set_overlap": spec.tenancy.hot_set_overlap,
+                    "sessions_per_tenant_hour": (
+                        spec.tenancy.sessions_per_tenant_hour
+                    ),
+                    "opens_per_tenant_hour": spec.tenancy.opens_per_tenant_hour,
+                    "files_per_tenant": spec.tenancy.files_per_tenant,
+                    "user_locality": spec.tenancy.user_locality,
+                    "profile": spec.tenancy.profile,
+                },
+            },
+            "shards": [shard.payload() for shard in self.shards],
+            "summary": {
+                "devices": self.devices,
+                "total_requests": self.total_requests,
+                "rearranged_blocks": self.rearranged_blocks,
+                "p50_ms": self.p50_ms,
+                "p95_ms": self.p95_ms,
+                "p99_ms": self.p99_ms,
+            },
+        }
+
+    def digest(self) -> str:
+        """``sha256:<hex>`` over the canonical payload JSON."""
+        from ..bench.digest import canonical_json
+
+        encoded = canonical_json(self.payload()).encode("utf-8")
+        return "sha256:" + hashlib.sha256(encoded).hexdigest()
+
+
+def render_fleet(result: FleetResult) -> str:
+    """Human-readable fleet summary (the ``repro fleet`` output)."""
+    spec = result.spec
+    lines = [
+        f"fleet: {spec.devices} x {spec.disk} devices, "
+        f"{result.total_requests} requests over "
+        f"{len(spec.resolved_schedule())} days "
+        f"({spec.tenancy.tenants} tenants, "
+        f"overlap {spec.tenancy.hot_set_overlap:.2f})",
+        f"  shards: {len(result.shards)} x {spec.devices_per_shard} devices"
+        + (f", {result.workers} worker(s)" if result.workers else ""),
+        "  service time (rearranged days): "
+        f"p50 {result.p50_ms:.1f} ms, p95 {result.p95_ms:.1f} ms, "
+        f"p99 {result.p99_ms:.1f} ms",
+        "  service time (off days):        "
+        f"p50 {result.service_percentile_ms(0.50, rearranged=False):.1f} ms, "
+        f"p95 {result.service_percentile_ms(0.95, rearranged=False):.1f} ms, "
+        f"p99 {result.service_percentile_ms(0.99, rearranged=False):.1f} ms",
+        f"  mean service delta (on vs off): "
+        f"{100.0 * result.onoff_service_delta:+.1f}%",
+        f"  rearranged blocks resident: {result.rearranged_blocks}",
+    ]
+    skews = sorted(result.shard_skews().values())
+    if skews:
+        lines.append(
+            "  per-shard load skew (max/mean): "
+            f"min {skews[0]:.2f}, median {skews[len(skews) // 2]:.2f}, "
+            f"max {skews[-1]:.2f}"
+        )
+    lines.append(f"  digest: {result.digest()}")
+    return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""Shard construction and execution for fleet runs.
+
+A *shard* is a contiguous group of devices run by one
+:class:`~repro.sim.multifs.MultiDiskExperiment` on one worker process.
+:func:`build_shard_tasks` turns a :class:`~repro.fleet.spec.FleetSpec`
+into picklable :class:`ShardTask` units — all seeds spawned up front via
+``SeedSequence`` (one child per shard, grandchildren per device, plus
+one child for the fleet-wide shared hot set) — and :func:`run_fleet`
+fans them out through :func:`repro.parallel.fan_out`.
+
+Only :class:`~repro.fleet.result.ShardResult` objects cross the process
+boundary back: fixed-size log-scale histograms and per-device scalar
+totals, never raw samples or per-request state.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..parallel import fan_out, resolve_workers, spawn_seeds
+from ..sim.multifs import DiskSpec, MultiDiskExperiment
+from ..stats.streaming import LogHistogram
+from ..workload.tenancy import SharedHotSet, device_profiles
+from .result import FleetResult, ShardResult
+from .spec import FleetSpec
+
+__all__ = ["ShardTask", "build_shard_tasks", "run_fleet"]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's worth of work, self-contained and picklable."""
+
+    index: int
+    seed: int
+    """The shard's own spawned seed (reported in error context and
+    results so a failing shard can be re-run serially)."""
+    specs: tuple[DiskSpec, ...]
+    schedule: tuple[bool, ...]
+
+    @property
+    def device_names(self) -> tuple[str, ...]:
+        return tuple(spec.name or "" for spec in self.specs)
+
+
+def _seed_of(sequence: np.random.SeedSequence) -> int:
+    return int(sequence.generate_state(2, np.uint64)[0])
+
+
+def build_shard_tasks(spec: FleetSpec) -> list[ShardTask]:
+    """Deterministically expand a fleet spec into shard tasks.
+
+    The seed tree is ``SeedSequence(spec.seed).spawn(num_shards + 1)``:
+    child ``i`` seeds shard ``i``'s devices (one grandchild each), and
+    the last child seeds the fleet-wide :class:`SharedHotSet`.  Nothing
+    here depends on the worker count, so the expansion — and therefore
+    the whole run — is identical at any parallelism.
+    """
+    schedule = spec.resolved_schedule()
+    profiles = device_profiles(spec.tenancy, spec.devices, hours=spec.hours)
+    children = np.random.SeedSequence(spec.seed).spawn(spec.num_shards + 1)
+    shared_hot = None
+    if spec.tenancy.hot_set_overlap > 0:
+        shared_hot = SharedHotSet(
+            fraction=spec.tenancy.hot_set_overlap,
+            seed=_seed_of(children[-1]),
+        )
+    tasks: list[ShardTask] = []
+    for shard, sequence in enumerate(children[: spec.num_shards]):
+        indices = spec.shard_devices(shard)
+        device_seeds = spawn_seeds(sequence, len(indices))
+        specs = tuple(
+            DiskSpec(
+                disk=spec.disk,
+                profile=profiles[device],
+                name=spec.device_name(device),
+                seed=device_seeds[offset],
+                num_blocks=spec.num_blocks,
+                placement_policy=spec.placement_policy,
+                queue_policy=spec.queue_policy,
+                counter=spec.counter,
+                analyzer_capacity=spec.analyzer_capacity,
+                shared_hot=shared_hot,
+            )
+            for offset, device in enumerate(indices)
+        )
+        tasks.append(
+            ShardTask(
+                index=shard,
+                seed=_seed_of(sequence),
+                specs=specs,
+                schedule=schedule,
+            )
+        )
+    return tasks
+
+
+def _run_shard(task: ShardTask) -> ShardResult:
+    """Run one shard's multi-device experiment through its schedule.
+
+    Executed on a worker process: everything returned must be small and
+    mergeable (histograms + scalars), since a fleet run ships one of
+    these per shard back to the parent.
+    """
+    experiment = MultiDiskExperiment(list(task.specs))
+    service_on = LogHistogram()
+    service_off = LogHistogram()
+    device_requests: Counter[str] = Counter()
+    rearranged_blocks = 0
+    for day, on_today in enumerate(task.schedule):
+        on_tomorrow = (
+            task.schedule[day + 1] if day + 1 < len(task.schedule) else False
+        )
+        result = experiment.run_day(
+            rearranged=on_today, rearrange_tomorrow=on_tomorrow
+        )
+        target = service_on if on_today else service_off
+        for name, metrics in result.per_device.items():
+            target.absorb_time_histogram(metrics.all.service_histogram)
+        device_requests.update(result.per_device_requests)
+        rearranged_blocks = sum(result.rearranged_blocks.values())
+    return ShardResult(
+        index=task.index,
+        seed=task.seed,
+        device_requests=dict(device_requests),
+        service_on=service_on,
+        service_off=service_off,
+        rearranged_blocks=rearranged_blocks,
+        days=len(task.schedule),
+        events=experiment.events_dispatched,
+    )
+
+
+def _shard_label(index: int, task: ShardTask) -> str:
+    names = task.device_names
+    return (
+        f"fleet shard {task.index} "
+        f"(devices {names[0]}..{names[-1]}, seed {task.seed})"
+    )
+
+
+def run_fleet(
+    spec: FleetSpec,
+    workers: int | None = None,
+    on_shard: Callable[[int, ShardResult], None] | None = None,
+) -> FleetResult:
+    """Run a whole fleet and aggregate its shard results.
+
+    ``workers`` is pure execution detail (``None`` = one worker per
+    shard up to the CPU count); the result's digest is identical at any
+    value.  ``on_shard`` is called in the parent, in shard order, as
+    each shard's result arrives — the progress hook for long runs.
+    """
+    tasks = build_shard_tasks(spec)
+    workers = resolve_workers(workers, len(tasks), what="fleet shard")
+    shards = fan_out(
+        _run_shard,
+        tasks,
+        workers,
+        label=_shard_label,
+        on_result=on_shard,
+        what="fleet shard",
+    )
+    return FleetResult(spec=spec, shards=shards, workers=workers)

@@ -16,6 +16,7 @@ from .jsonl import (
     replay_monitors,
 )
 from .metrics import MetricsTracer
+from .progress import ShardProgress
 from .tracer import NULL_TRACER, MulticastTracer, NullTracer, Tracer
 
 __all__ = [
@@ -24,6 +25,7 @@ __all__ = [
     "MulticastTracer",
     "NULL_TRACER",
     "NullTracer",
+    "ShardProgress",
     "Tracer",
     "TraceScanStats",
     "iter_trace",

@@ -1,0 +1,49 @@
+"""Progress reporting for long fan-outs (fleet shards, campaigns).
+
+:class:`ShardProgress` is shaped to plug straight into
+:func:`repro.parallel.fan_out`'s ``on_result`` hook: the parent process
+calls it in task order as each unit of work completes, and it writes a
+one-line heartbeat per completion — which shard finished, how many are
+done, elapsed wall time, and the unit's request count when it has one.
+A 1,000-device fleet run then shows steady forward motion instead of
+minutes of silence.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO
+
+__all__ = ["ShardProgress"]
+
+
+class ShardProgress:
+    """Line-per-completion progress writer for parallel runs."""
+
+    def __init__(
+        self,
+        total: int,
+        stream: IO[str] | None = None,
+        what: str = "shard",
+    ) -> None:
+        if total < 1:
+            raise ValueError("total must be positive")
+        self.total = total
+        self.stream = stream if stream is not None else sys.stderr
+        self.what = what
+        self.completed = 0
+        self._started = time.monotonic()
+
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self._started
+
+    def __call__(self, index: int, result: object) -> None:
+        self.completed += 1
+        requests = getattr(result, "requests", None)
+        detail = f", {requests} requests" if requests is not None else ""
+        self.stream.write(
+            f"[{self.completed}/{self.total}] {self.what} {index} done"
+            f"{detail} ({self.elapsed_s():.1f}s elapsed)\n"
+        )
+        self.stream.flush()

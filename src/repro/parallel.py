@@ -1,0 +1,214 @@
+"""Generic process-pool fan-out shared by campaigns and the fleet runner.
+
+This module is the one place multiprocessing happens.  It grew out of the
+campaign runner's ``_fan_out`` helper (``sim/experiment.py``) and now
+serves both the paper-shaped experiment campaigns and the fleet shard
+runner (:mod:`repro.fleet`):
+
+* :func:`fan_out` — an order-preserving parallel map with **batched
+  result exchange** (``imap`` with a chunk size, so many small tasks do
+  not pay one IPC round-trip each), a streaming ``on_result`` hook for
+  progress reporting, and **contextful error propagation**: a worker
+  exception surfaces as :class:`WorkerTaskError` naming the failed task
+  (which shard, which seed) with the worker's traceback attached,
+  instead of a bare pool traceback.
+* :func:`spawn_seeds` — child seeds derived with
+  :class:`numpy.random.SeedSequence` spawning, the statistically sound
+  replacement for ad-hoc ``base_seed + i`` schemes: every child stream
+  is independent no matter how close the parent seeds are.
+* :func:`resolve_workers` — the worker-count policy (``None`` = one per
+  task up to the CPU count; explicit values are clamped to the task
+  count, with a warning when they exceed it).
+
+Determinism contract: tasks must be self-contained (their own seeds, no
+shared state), so results are byte-identical at any worker count — the
+regression tests pin ``workers=1`` against ``workers=8`` digests.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+import warnings
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+__all__ = [
+    "WorkerTaskError",
+    "fan_out",
+    "resolve_workers",
+    "spawn_seeds",
+]
+
+
+class WorkerTaskError(RuntimeError):
+    """A task failed on a worker process.
+
+    Carries the task's context label (e.g. ``"fleet shard 3 (devices
+    d0024..d0031, seed 1842516266)"``) and the worker-side traceback, so
+    a failure in a 1,000-device run points at the shard and seed to
+    re-run serially rather than at an anonymous pool frame.
+    """
+
+    def __init__(self, context: str, cause: str, worker_traceback: str):
+        super().__init__(f"{context}: {cause}")
+        self.context = context
+        self.cause = cause
+        self.worker_traceback = worker_traceback
+
+    def __str__(self) -> str:  # keep the worker's trace visible in logs
+        return (
+            f"{self.context}: {self.cause}\n"
+            f"--- worker traceback ---\n{self.worker_traceback}"
+        )
+
+
+def spawn_seeds(seed: int | np.random.SeedSequence, n: int) -> list[int]:
+    """``n`` independent child seeds spawned from ``seed``.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, so the children's
+    streams are pairwise independent even for adjacent parent seeds
+    (unlike ``seed + i`` arithmetic, where nearby parents can yield
+    correlated generators).  Each child is reduced to a single 64-bit
+    integer so it can ride inside frozen config dataclasses, JSON
+    metadata, and CLI reprs.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    sequence = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
+    return [
+        int(child.generate_state(2, np.uint64)[0])
+        for child in sequence.spawn(n)
+    ]
+
+
+def resolve_workers(
+    workers: int | None, tasks: int, what: str = "task"
+) -> int:
+    """Number of worker processes to use for ``tasks`` independent jobs.
+
+    ``None`` means "use the machine": one worker per task up to the CPU
+    count.  Explicit values are clamped to the task count; asking for
+    more workers than there are tasks earns a warning (the extra
+    processes would only sit idle).
+    """
+    if tasks <= 0:
+        return 0
+    if workers is None:
+        workers = os.cpu_count() or 1
+    elif workers > tasks:
+        warnings.warn(
+            f"requested {workers} workers for {tasks} {what}(s); "
+            f"using {tasks} (one per {what})",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    return min(workers, tasks)
+
+
+class _IndexedCall:
+    """Picklable wrapper running one ``(index, item)`` pair on a worker.
+
+    Returns ``(index, True, result)`` or ``(index, False, (repr, tb))``
+    — exceptions never cross the process boundary raw, so the parent can
+    re-raise them with task context attached.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable[[_T], _R]) -> None:
+        self.fn = fn
+
+    def __call__(self, pair: tuple[int, _T]):
+        index, item = pair
+        try:
+            return index, True, self.fn(item)
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            return index, False, (repr(exc), traceback.format_exc())
+
+
+def _default_chunk_size(tasks: int, workers: int) -> int:
+    """Batch tasks so each worker sees a handful of IPC exchanges.
+
+    Four batches per worker balances exchange overhead against load
+    skew: big enough to amortize pickling, small enough that one slow
+    task does not strand a whole batch behind it.
+    """
+    return max(1, tasks // (workers * 4))
+
+
+def fan_out(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    workers: int | None = None,
+    *,
+    label: Callable[[int, _T], str] | None = None,
+    chunk_size: int | None = None,
+    on_result: Callable[[int, _R], None] | None = None,
+    what: str = "task",
+) -> list[_R]:
+    """Map ``fn`` over ``items`` on worker processes, order-preserving.
+
+    Falls back to an in-process loop for a single worker (or item), so
+    serial runs never pay multiprocessing overhead and results are
+    byte-identical either way: every item must be an independent,
+    self-seeded unit of work.
+
+    ``label`` produces the context string attached to a failure (it
+    receives the item's index and the item itself); ``on_result`` is
+    called in the parent, in task order, as each result arrives — the
+    progress hook for long fleet runs.  ``chunk_size`` controls the
+    batched result exchange (default: ~4 batches per worker).
+    """
+    tasks = list(items)
+    workers = resolve_workers(workers, len(tasks), what=what)
+
+    def context(index: int) -> str:
+        if label is not None:
+            return label(index, tasks[index])
+        return f"{what} {index}"
+
+    if workers <= 1 or len(tasks) <= 1:
+        results: list[_R] = []
+        for index, item in enumerate(tasks):
+            try:
+                result = fn(item)
+            except Exception as exc:
+                raise WorkerTaskError(
+                    context(index), repr(exc), traceback.format_exc()
+                ) from exc
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+
+    methods = multiprocessing.get_all_start_methods()
+    mp_context = multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+    if chunk_size is None:
+        chunk_size = _default_chunk_size(len(tasks), workers)
+    results = []
+    with mp_context.Pool(processes=workers) as pool:
+        for index, ok, payload in pool.imap(
+            _IndexedCall(fn), list(enumerate(tasks)), chunksize=chunk_size
+        ):
+            if not ok:
+                cause, worker_tb = payload
+                pool.terminate()
+                raise WorkerTaskError(context(index), cause, worker_tb)
+            if on_result is not None:
+                on_result(index, payload)
+            results.append(payload)
+    return results

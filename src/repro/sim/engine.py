@@ -106,6 +106,24 @@ class Simulation:
     def now_ms(self) -> float:
         return self.events.now_ms
 
+    def close(self) -> None:
+        """Release the devices and bus subscriptions of a finished run.
+
+        The bus holds bound methods of this simulation, which is a
+        reference cycle keeping every registered driver (and its block
+        tables) alive until a garbage-collection pass; day-level wrappers
+        call this once they have read the day's results so peak memory
+        tracks one day's stack, not gc timing.  A closed simulation can
+        no longer dispatch events — callers that resume ``run(until_ms)``
+        must close only after the final segment.
+        """
+        self.bus.clear()
+        self._devices.clear()
+        self._waiting_jobs.clear()
+        # Rebind rather than clear: run() hands the completed list to
+        # callers, who may still be reading it.
+        self.completed = []
+
     # ------------------------------------------------------------------
     # Devices
     # ------------------------------------------------------------------

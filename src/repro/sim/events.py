@@ -174,3 +174,13 @@ class EventBus:
 
     def handles(self, event_type: type[SimEvent]) -> bool:
         return bool(self._handlers.get(event_type))
+
+    def clear(self) -> None:
+        """Drop every subscription (dispatch raises afterwards).
+
+        Handlers are typically bound methods of the objects that own the
+        bus, so the subscription lists form reference cycles; clearing
+        them lets a finished simulation free its devices by reference
+        counting instead of waiting for a garbage-collection pass.
+        """
+        self._handlers.clear()

@@ -21,12 +21,12 @@ on/off alternation (Tables 2–6), the placement-policy comparison (Tables
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence, TypeVar
+from typing import Sequence
 
 from .._compat import removed_alias, removed_name
+from ..parallel import fan_out, spawn_seeds
+from ..parallel import resolve_workers as resolve_workers  # re-export
 from ..core.analyzer import ReferenceStreamAnalyzer
 from ..core.counters import COUNTER_STRATEGIES, DEFAULT_FADING
 from ..core.arranger import BlockArranger
@@ -303,6 +303,10 @@ class Experiment:
                 rearrange_tomorrow=rearrange_tomorrow,
                 num_blocks=blocks,
             )
+        # The bus subscriptions keep the day's Simulation (and through it
+        # the driver stack) in a reference cycle; close it so long serial
+        # campaigns free each day by refcount instead of gc timing.
+        simulation.close()
         return DayResult(
             metrics=metrics,
             workload_requests=workload.num_requests,
@@ -405,45 +409,14 @@ def run_block_count_sweep(
 # ----------------------------------------------------------------------
 # Parallel campaign running
 # ----------------------------------------------------------------------
-
-_T = TypeVar("_T")
-_R = TypeVar("_R")
+#
+# The multiprocessing machinery itself lives in :mod:`repro.parallel`
+# (shared with the fleet shard runner); this section only defines the
+# campaign-shaped task types.  ``resolve_workers`` is re-exported for
+# callers that historically imported it from here.
 
 CampaignTask = tuple[str, ExperimentConfig, Sequence[bool]]
 """One unit of parallel work: ``(key, config, on/off schedule)``."""
-
-
-def resolve_workers(workers: int | None, tasks: int) -> int:
-    """Number of worker processes to use for ``tasks`` independent jobs.
-
-    ``None`` means "use the machine": one worker per task up to the CPU
-    count.  Explicit values are clamped to the task count.
-    """
-    if tasks <= 0:
-        return 0
-    if workers is None:
-        workers = os.cpu_count() or 1
-    if workers < 1:
-        raise ValueError("workers must be positive")
-    return min(workers, tasks)
-
-
-def _fan_out(fn: Callable[[_T], _R], items: Sequence[_T], workers: int) -> list[_R]:
-    """Map ``fn`` over ``items`` on ``workers`` processes, order-preserving.
-
-    Falls back to an in-process loop for a single worker (or item), so
-    serial runs never pay multiprocessing overhead and results are
-    byte-identical either way: every item is an independent, seeded
-    simulation.
-    """
-    if workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
-    with context.Pool(processes=workers) as pool:
-        return pool.map(fn, items)
 
 
 def _campaign_worker(task: CampaignTask) -> tuple[str, CampaignResult]:
@@ -452,20 +425,43 @@ def _campaign_worker(task: CampaignTask) -> tuple[str, CampaignResult]:
 
 
 def run_campaigns_parallel(
-    tasks: Sequence[CampaignTask], workers: int | None = None
+    tasks: Sequence[CampaignTask],
+    workers: int | None = None,
+    seed_from: int | None = None,
 ) -> list[tuple[str, CampaignResult]]:
     """Fan independent campaigns across ``multiprocessing`` workers.
 
     Each task is a fully self-contained ``(key, config, schedule)``
     triple; campaigns share nothing, so the results are identical to
     running them serially — just wall-clock faster.  Results come back in
-    task order.  Tracers are deliberately not supported here: a tracer is
+    task order, and a worker failure is re-raised as
+    :class:`~repro.parallel.WorkerTaskError` naming the campaign key and
+    seed.  Tracers are deliberately not supported here: a tracer is
     process-local state, so traced runs should use :func:`run_campaign`
     directly.
+
+    ``seed_from`` replaces each task's seed with a
+    ``numpy.random.SeedSequence``-spawned child seed (one per task, in
+    task order).  Use it when fanning out *replicas* of one config:
+    spawned children are statistically independent, unlike the ad-hoc
+    ``seed + i`` arithmetic this replaces, and identical at every worker
+    count.
     """
     tasks = list(tasks)
-    return _fan_out(
-        _campaign_worker, tasks, resolve_workers(workers, len(tasks))
+    if seed_from is not None:
+        seeds = spawn_seeds(seed_from, len(tasks))
+        tasks = [
+            (key, replace(config, seed=seed), schedule)
+            for (key, config, schedule), seed in zip(tasks, seeds)
+        ]
+    return fan_out(
+        _campaign_worker,
+        tasks,
+        workers,
+        label=lambda i, task: (
+            f"campaign {task[0]!r} (seed {task[1].seed})"
+        ),
+        what="campaign",
     )
 
 
@@ -492,6 +488,12 @@ def run_block_count_sweep_parallel(
     because the training workload is day 0's for every count.
     """
     items = [(config, count) for count in block_counts]
-    return _fan_out(
-        _sweep_point_worker, items, resolve_workers(workers, len(items))
+    return fan_out(
+        _sweep_point_worker,
+        items,
+        workers,
+        label=lambda i, item: (
+            f"sweep point count={item[1]} (seed {item[0].seed})"
+        ),
+        what="sweep point",
     )

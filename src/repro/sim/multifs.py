@@ -37,6 +37,7 @@ from ..obs.tracer import NULL_TRACER, Tracer
 from ..stats.metrics import DayMetrics
 from ..workload.generator import WorkloadGenerator
 from ..workload.profiles import WorkloadProfile, profile_for_disk
+from ..workload.tenancy import SharedHotSet
 from .engine import Simulation
 
 
@@ -181,6 +182,7 @@ class MultiFSExperiment:
             rearrange_tomorrow=rearrange_tomorrow,
             num_blocks=self.num_blocks,
         )
+        simulation.close()
         return MultiFSDayResult(
             metrics=metrics,
             per_fs_requests=per_fs_requests,
@@ -206,6 +208,17 @@ class DiskSpec:
     num_blocks: int | None = None  # rearranged nightly; default: paper
     placement_policy: str = "organ-pipe"
     queue_policy: str = "scan"
+    counter: str = "exact"
+    """Analyzer counter strategy (``"exact"`` or ``"spacesaving"``); the
+    fleet runner uses the bounded sketch so per-device analyzer state does
+    not scale with the multi-million-block device size."""
+    analyzer_capacity: int | None = None
+    """Sketch size for ``counter="spacesaving"``; default is four times
+    the nightly rearrangement count, as in
+    :meth:`~repro.sim.experiment.ExperimentConfig.resolved_analyzer_capacity`."""
+    shared_hot: SharedHotSet | None = None
+    """Fleet-wide shared hot content overlaid on the device's private
+    popularity draw (see :class:`repro.workload.tenancy.SharedHotSet`)."""
 
     @property
     def num_rearranged(self) -> int | None:
@@ -255,7 +268,11 @@ class MultiDiskExperiment:
     def __init__(
         self, specs: list[DiskSpec], tracer: Tracer = NULL_TRACER
     ) -> None:
-        from .experiment import PAPER_REARRANGED_BLOCKS, PAPER_RESERVED_CYLINDERS
+        from .experiment import (
+            MIN_SKETCH_CAPACITY,
+            PAPER_REARRANGED_BLOCKS,
+            PAPER_RESERVED_CYLINDERS,
+        )
 
         if not specs:
             raise ValueError("need at least one disk")
@@ -271,6 +288,14 @@ class MultiDiskExperiment:
                 if spec.reserved_cylinders is not None
                 else PAPER_RESERVED_CYLINDERS[spec.disk]
             )
+            num_blocks = (
+                spec.num_blocks
+                if spec.num_blocks is not None
+                else PAPER_REARRANGED_BLOCKS[spec.disk]
+            )
+            capacity = spec.analyzer_capacity
+            if capacity is None and spec.counter == "spacesaving":
+                capacity = max(MIN_SKETCH_CAPACITY, 4 * num_blocks)
             label = DiskLabel(model.geometry, reserved_cylinders=reserved)
             driver = AdaptiveDiskDriver(
                 disk=Disk(model),
@@ -281,7 +306,9 @@ class MultiDiskExperiment:
             ioctl = IoctlInterface(driver)
             controller = RearrangementController(
                 ioctl=ioctl,
-                analyzer=ReferenceStreamAnalyzer(),
+                analyzer=ReferenceStreamAnalyzer(
+                    counter=spec.counter, capacity=capacity
+                ),
                 arranger=BlockArranger(
                     ioctl, policy=make_policy(spec.placement_policy)
                 ),
@@ -295,6 +322,7 @@ class MultiDiskExperiment:
                 partition,
                 model.geometry.blocks_per_cylinder,
                 seed=spec.seed,
+                shared_hot=spec.shared_hot,
             )
             self.rigs[name] = _DiskRig(
                 name=name,
@@ -303,13 +331,11 @@ class MultiDiskExperiment:
                 ioctl=ioctl,
                 controller=controller,
                 generator=generator,
-                num_blocks=(
-                    spec.num_blocks
-                    if spec.num_blocks is not None
-                    else PAPER_REARRANGED_BLOCKS[spec.disk]
-                ),
+                num_blocks=num_blocks,
             )
         self._day = 0
+        self.events_dispatched = 0
+        """Simulation events processed across every day run so far."""
 
     @property
     def device_names(self) -> list[str]:
@@ -334,6 +360,7 @@ class MultiDiskExperiment:
             simulation.add_jobs(workload.jobs, device=name)
         simulation.run()
         end_of_day = simulation.now_ms
+        self.events_dispatched += simulation.events_dispatched
 
         per_device: dict[str, DayMetrics] = {}
         rearranged_blocks: dict[str, int] = {}
@@ -351,6 +378,7 @@ class MultiDiskExperiment:
                 rearrange_tomorrow=rearrange_tomorrow,
                 num_blocks=rig.num_blocks,
             )
+        simulation.close()
         return MultiDiskDayResult(
             per_device=per_device,
             per_device_requests=per_device_requests,

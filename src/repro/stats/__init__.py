@@ -20,15 +20,18 @@ from .report import (
     render_service_cdf,
     render_sweep,
 )
+from .streaming import LogHistogram, merge_histograms
 
 __all__ = [
     "DayMetrics",
     "DistanceHistogram",
+    "LogHistogram",
     "MinAvgMax",
     "OnOffSummary",
     "SCOPES",
     "ScopeMetrics",
     "TimeHistogram",
+    "merge_histograms",
     "render_access_distribution",
     "render_day",
     "render_detail_table",

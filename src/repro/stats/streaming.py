@@ -1,0 +1,214 @@
+"""Streaming fleet aggregation: mergeable fixed-bin log-scale histograms.
+
+A 1,000-device fleet day produces millions of service-time samples.
+Shipping them (or even the per-device millisecond-resolution
+:class:`~repro.stats.histogram.TimeHistogram` buckets, which are
+unbounded in number) from worker processes to the aggregator would make
+result exchange scale with traffic.  :class:`LogHistogram` is the fixed
+transport: a bounded array of logarithmically spaced bins whose merge is
+pure element-wise addition — commutative, associative, and independent
+of the order shards report in — plus exact cumulative ``count`` /
+``total_ms`` / ``max_ms`` so fleet means stay full-resolution while
+quantiles are read off the log bins.
+
+The log spacing matches how service-time distributions are consumed:
+p50 around tens of milliseconds and p99 around hundreds land in bins of
+proportional (relative) width, so tail quantiles keep the same relative
+error as the median instead of degrading with absolute bucket width.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .histogram import TimeHistogram
+
+__all__ = ["LogHistogram", "merge_histograms"]
+
+
+@dataclass
+class LogHistogram:
+    """Fixed-bin log-scale histogram with exact cumulative stats.
+
+    Bin ``i`` covers values in ``[min_value_ms * r**i, min_value_ms *
+    r**(i+1))`` where ``r = 10 ** (1 / bins_per_decade)``; samples below
+    ``min_value_ms`` clamp into bin 0 and samples beyond the last edge
+    clamp into the last bin (``max_ms`` still records the true maximum).
+    Two histograms merge only if their ``(min_value_ms, decades,
+    bins_per_decade)`` configuration is identical — the merge is then a
+    plain element-wise sum, so fleet aggregation is order-independent.
+    """
+
+    min_value_ms: float = 0.125
+    decades: int = 7
+    bins_per_decade: int = 32
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total_ms: float = 0.0
+    total_sq_ms: float = 0.0
+    max_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.min_value_ms <= 0:
+            raise ValueError("min_value_ms must be positive")
+        if self.decades < 1:
+            raise ValueError("decades must be positive")
+        if self.bins_per_decade < 1:
+            raise ValueError("bins_per_decade must be positive")
+        if not self.counts:
+            self.counts = [0] * self.num_bins
+        elif len(self.counts) != self.num_bins:
+            raise ValueError(
+                f"expected {self.num_bins} bins, got {len(self.counts)}"
+            )
+
+    @property
+    def num_bins(self) -> int:
+        return self.decades * self.bins_per_decade
+
+    def config(self) -> tuple[float, int, int]:
+        return (self.min_value_ms, self.decades, self.bins_per_decade)
+
+    def _bin_index(self, value_ms: float) -> int:
+        if value_ms <= self.min_value_ms:
+            return 0
+        index = int(
+            math.log10(value_ms / self.min_value_ms) * self.bins_per_decade
+        )
+        return min(index, self.num_bins - 1)
+
+    def bin_upper_edge(self, index: int) -> float:
+        return self.min_value_ms * 10.0 ** ((index + 1) / self.bins_per_decade)
+
+    def record(self, value_ms: float, weight: int = 1) -> None:
+        if value_ms < 0:
+            raise ValueError(f"negative time sample: {value_ms}")
+        if weight < 0:
+            raise ValueError("weight must be non-negative")
+        if weight == 0:
+            return
+        self.counts[self._bin_index(value_ms)] += weight
+        self.count += weight
+        self.total_ms += value_ms * weight
+        self.total_sq_ms += value_ms * value_ms * weight
+        if value_ms > self.max_ms:
+            self.max_ms = value_ms
+
+    def absorb_time_histogram(self, hist: TimeHistogram) -> None:
+        """Fold a device's millisecond histogram into the log bins.
+
+        Each 1 ms bucket lands in the log bin of its upper edge (the
+        value :meth:`TimeHistogram.percentile` would report), while the
+        exact cumulative sums are carried over untouched — fleet means
+        stay full-resolution even though the distribution is re-bucketed.
+        """
+        for bucket, bucket_count in hist.buckets.items():
+            edge = (bucket + 1) * hist.resolution_ms
+            self.counts[self._bin_index(edge)] += bucket_count
+        self.count += hist.count
+        self.total_ms += hist.total_ms
+        self.total_sq_ms += hist.total_sq_ms
+        self.max_ms = max(self.max_ms, hist.max_ms)
+
+    @property
+    def mean_ms(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total_ms / self.count
+
+    @property
+    def stdev_ms(self) -> float:
+        if self.count < 2:
+            return 0.0
+        mean = self.mean_ms
+        variance = max(self.total_sq_ms / self.count - mean * mean, 0.0)
+        return math.sqrt(variance)
+
+    def percentile(self, q: float) -> float:
+        """Upper edge of the smallest bin covering fraction ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        needed = q * self.count
+        running = 0
+        for index, bin_count in enumerate(self.counts):
+            running += bin_count
+            if bin_count and running >= needed:
+                edge = self.bin_upper_edge(index)
+                if index == self.num_bins - 1 and self.max_ms > edge:
+                    # Overflow bin: clamped samples exceed the edge.
+                    return self.max_ms
+                return min(edge, self.max_ms)
+        return self.max_ms
+
+    def merge(self, other: "LogHistogram") -> None:
+        if other.config() != self.config():
+            raise ValueError(
+                "cannot merge log histograms of differing configuration: "
+                f"{self.config()} vs {other.config()}"
+            )
+        for index, bin_count in enumerate(other.counts):
+            self.counts[index] += bin_count
+        self.count += other.count
+        self.total_ms += other.total_ms
+        self.total_sq_ms += other.total_sq_ms
+        self.max_ms = max(self.max_ms, other.max_ms)
+
+    def copy(self) -> "LogHistogram":
+        return LogHistogram(
+            min_value_ms=self.min_value_ms,
+            decades=self.decades,
+            bins_per_decade=self.bins_per_decade,
+            counts=list(self.counts),
+            count=self.count,
+            total_ms=self.total_ms,
+            total_sq_ms=self.total_sq_ms,
+            max_ms=self.max_ms,
+        )
+
+    def payload(self) -> dict:
+        """Digest/JSON form: configuration plus the nonzero bins only."""
+        return {
+            "min_value_ms": self.min_value_ms,
+            "decades": self.decades,
+            "bins_per_decade": self.bins_per_decade,
+            "bins": {
+                str(index): bin_count
+                for index, bin_count in enumerate(self.counts)
+                if bin_count
+            },
+            "count": self.count,
+            "total_ms": self.total_ms,
+            "total_sq_ms": self.total_sq_ms,
+            "max_ms": self.max_ms,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "LogHistogram":
+        hist = cls(
+            min_value_ms=payload["min_value_ms"],
+            decades=payload["decades"],
+            bins_per_decade=payload["bins_per_decade"],
+        )
+        for index, bin_count in payload["bins"].items():
+            hist.counts[int(index)] = int(bin_count)
+        hist.count = int(payload["count"])
+        hist.total_ms = float(payload["total_ms"])
+        hist.max_ms = float(payload["max_ms"])
+        hist.total_sq_ms = float(payload.get("total_sq_ms", 0.0))
+        return hist
+
+
+def merge_histograms(histograms) -> LogHistogram:
+    """Merge an iterable of identically configured histograms into one."""
+    iterator = iter(histograms)
+    try:
+        merged = next(iterator).copy()
+    except StopIteration:
+        raise ValueError("merge_histograms needs at least one histogram")
+    for hist in iterator:
+        merged.merge(hist)
+    return merged

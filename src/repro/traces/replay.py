@@ -107,10 +107,12 @@ def replay_jobs(
         day=0,
         rearranged=rearrange,
     )
+    events = simulation.events_dispatched
+    simulation.close()
     return TraceReplayResult(
         metrics=metrics,
         completed=len(completed),
-        events=simulation.events_dispatched,
+        events=events,
         rearranged_blocks=rearranged_blocks,
         disk=disk,
         queue=queue,

@@ -19,15 +19,28 @@ from .profiles import (
     WorkloadProfile,
     profile,
 )
+from .tenancy import (
+    SharedHotSet,
+    TenancySpec,
+    assign_tenants,
+    device_load_shares,
+    device_profiles,
+    tenant_weights,
+)
 from .trace import dump_jobs, load_jobs, load_trace, save_trace
 
 __all__ = [
     "DayWorkload",
     "PROFILES",
     "SYSTEM_FS_PROFILE",
+    "SharedHotSet",
+    "TenancySpec",
     "USERS_FS_PROFILE",
     "WorkloadGenerator",
     "WorkloadProfile",
+    "assign_tenants",
+    "device_load_shares",
+    "device_profiles",
     "dump_jobs",
     "geometric_run_length",
     "load_jobs",
@@ -36,6 +49,7 @@ __all__ = [
     "profile",
     "save_trace",
     "sorted_counts",
+    "tenant_weights",
     "top_k_share",
     "zipf_weights",
 ]

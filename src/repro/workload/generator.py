@@ -30,6 +30,7 @@ changing access patterns that made the *users* results weaker.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -44,6 +45,9 @@ from .distributions import (
     zipf_weights,
 )
 from .profiles import WorkloadProfile
+
+if TYPE_CHECKING:  # avoid importing tenancy on the generator hot path
+    from .tenancy import SharedHotSet
 
 
 @dataclass
@@ -80,8 +84,10 @@ class WorkloadGenerator:
         partition,
         blocks_per_cylinder: int,
         seed: int = 1993,
+        shared_hot: SharedHotSet | None = None,
     ) -> None:
         self.profile = profile
+        self.shared_hot = shared_hot
         self.rng = np.random.default_rng(seed)
         self.fs = FileSystem(
             partition=partition,
@@ -108,6 +114,12 @@ class WorkloadGenerator:
         )
         # _rank_of[i] is file i's popularity rank (0 = hottest).
         self._rank_of = self.rng.permutation(len(self._inodes))
+        if shared_hot is not None:
+            # Fleet mode: the hottest ranks are occupied by the
+            # fleet-wide shared file choice; the device's own draw above
+            # still happens (and still advances the rng identically), it
+            # just ranks only the tenant-private remainder.
+            self._rank_of = shared_hot.apply(self._rank_of)
         self._probs_dirty = True
         self._probs: np.ndarray | None = None
         self._cdf: np.ndarray | None = None

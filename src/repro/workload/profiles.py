@@ -211,7 +211,7 @@ def profile_for_disk(profile: WorkloadProfile, disk: str) -> WorkloadProfile:
         )
     if profile.name == "users" and disk == "toshiba":
         return replace(profile, num_directories=10)
-    if disk == "modern":
+    if disk == "modern" and profile.name in PROFILES:
         # The synthetic ~8 GB drive serves a far larger tree than the
         # paper's servers: widen the directory fan-out and raise traffic
         # so a day's working set spans the multi-million-block device

@@ -134,6 +134,30 @@ class TestCompareGate:
         baseline = baseline_for(make_report(), peak_mem_bytes=None)
         assert compare_reports([report], baseline) == []
 
+    def test_worker_count_mismatch_is_a_named_problem(self):
+        """A multi-process scenario timed at a different worker count
+        must not be gated on wall-clock — the widths are incomparable."""
+        report = make_report(machine={"workers": 4}, wall_s=0.1)
+        baseline = baseline_for(make_report(wall_s=99.0), workers=1)
+        (problem,) = compare_reports([report], baseline)
+        assert "worker-count mismatch" in problem
+        assert "baseline timed with 1 worker(s)" in problem
+
+    def test_matching_worker_counts_compare_normally(self):
+        report = make_report(machine={"workers": 2})
+        baseline = baseline_for(make_report(), workers=2)
+        assert compare_reports([report], baseline) == []
+
+    def test_worker_check_skipped_when_baseline_predates_it(self):
+        report = make_report(machine={"workers": 2})
+        baseline = baseline_for(make_report())  # no "workers" recorded
+        assert compare_reports([report], baseline) == []
+
+    def test_baseline_roundtrip_carries_workers(self, tmp_path):
+        report = make_report(machine={"workers": 3})
+        path = write_baseline([report], tmp_path / "baseline.json")
+        assert load_baseline(path)["scenarios"]["tiny"]["workers"] == 3
+
     def test_baseline_roundtrip_carries_memory(self, tmp_path):
         report = make_report()
         path = write_baseline([report], tmp_path / "baseline.json")

@@ -173,3 +173,69 @@ class TestStatsFlow:
             assert request.seek_distance is not None
             assert request.service_ms > 0
             assert request.complete_ms is not None
+
+
+class TestClose:
+    """close() breaks the sim<->bus bound-method cycle so a finished
+    day's device stack is freed by reference counting, not gc timing.
+
+    These tests build their Simulation locally — the shared fixture's
+    cached value would keep the weakrefs alive."""
+
+    @staticmethod
+    def fresh_simulation():
+        label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=48)
+        driver = AdaptiveDiskDriver(disk=Disk(TOSHIBA_MK156F), label=label)
+        return Simulation(driver)
+
+    def test_close_frees_simulation_without_gc(self):
+        import gc
+        import weakref
+
+        simulation = self.fresh_simulation()
+        simulation.add_job(batch_job(0.0, [0, 1], Op.READ))
+        completed = simulation.run()
+        driver = simulation.devices["disk0"].driver
+        driver_ref = weakref.ref(driver)
+        table_ref = weakref.ref(driver.block_table)
+        sim_ref = weakref.ref(simulation)
+        del driver
+        simulation.close()
+        assert len(completed) == 2  # caller's list survives close()
+        gc.disable()
+        try:
+            del simulation
+            assert sim_ref() is None
+            assert driver_ref() is None
+            assert table_ref() is None
+        finally:
+            gc.enable()
+
+    def test_unclosed_simulation_needs_a_gc_pass(self):
+        """The control: without close(), the cycle keeps everything
+        alive — this is exactly what close() exists to prevent."""
+        import gc
+        import weakref
+
+        simulation = self.fresh_simulation()
+        simulation.run()
+        sim_ref = weakref.ref(simulation)
+        gc.disable()
+        try:
+            del simulation
+            assert sim_ref() is not None
+            gc.collect()
+            assert sim_ref() is None
+        finally:
+            gc.enable()
+
+    def test_closed_simulation_rejects_new_work(self, simulation):
+        from repro.sim.events import JobStart, MachineCrash
+
+        simulation.run()
+        simulation.close()
+        with pytest.raises(KeyError):  # devices are gone
+            simulation.add_job(batch_job(0.0, [0], Op.READ), device="disk0")
+        # ...and so are the bus subscriptions.
+        assert not simulation.bus.handles(JobStart)
+        assert not simulation.bus.handles(MachineCrash)

@@ -203,7 +203,8 @@ class TestJsonlWriter:
 class TestParallelCampaigns:
     def test_resolve_workers(self):
         assert resolve_workers(3, tasks=8) == 3
-        assert resolve_workers(16, tasks=2) == 2
+        with pytest.warns(RuntimeWarning):  # more workers than tasks
+            assert resolve_workers(16, tasks=2) == 2
         assert resolve_workers(None, tasks=4) >= 1
         with pytest.raises(ValueError):
             resolve_workers(0, tasks=4)

@@ -1,0 +1,169 @@
+"""The generic process-pool executor (repro.parallel)."""
+
+import pytest
+
+from repro.bench.digest import canonical_json, metrics_digest
+from repro.parallel import (
+    WorkerTaskError,
+    fan_out,
+    resolve_workers,
+    spawn_seeds,
+)
+from repro.sim.experiment import (
+    ExperimentConfig,
+    alternating_schedule,
+    run_campaigns_parallel,
+)
+from repro.bench.digest import day_metrics_payload
+from repro.workload.profiles import SYSTEM_FS_PROFILE
+
+SHORT_PROFILE = SYSTEM_FS_PROFILE.scaled(hours=0.1)
+SHORT_CONFIG = ExperimentConfig(profile=SHORT_PROFILE)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _fail_on_three(x: int) -> int:
+    if x == 3:
+        raise ValueError(f"boom on {x}")
+    return x
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(1993, 4) == spawn_seeds(1993, 4)
+
+    def test_prefix_stable(self):
+        """Asking for more children never changes the earlier ones."""
+        assert spawn_seeds(1993, 8)[:3] == spawn_seeds(1993, 3)
+
+    def test_children_distinct(self):
+        seeds = spawn_seeds(0, 64)
+        assert len(set(seeds)) == 64
+
+    def test_nearby_parents_unrelated(self):
+        """Adjacent parent seeds give disjoint children — the failure
+        mode of base_seed + i schemes."""
+        assert not set(spawn_seeds(7, 16)) & set(spawn_seeds(8, 16))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(1, -1)
+
+
+class TestResolveWorkers:
+    def test_clamps_and_warns_when_exceeding_tasks(self):
+        with pytest.warns(RuntimeWarning, match="requested 8 workers"):
+            assert resolve_workers(8, tasks=3, what="shard") == 3
+
+    def test_no_warning_at_or_below_task_count(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(3, tasks=3) == 3
+            assert resolve_workers(2, tasks=3) == 2
+
+    def test_zero_tasks(self):
+        assert resolve_workers(4, tasks=0) == 0
+
+
+class TestFanOut:
+    def test_serial_and_parallel_agree(self):
+        items = list(range(20))
+        assert (
+            fan_out(_square, items, workers=1)
+            == fan_out(_square, items, workers=4)
+            == [x * x for x in items]
+        )
+
+    def test_order_preserved_with_chunking(self):
+        items = list(range(57))
+        assert fan_out(_square, items, workers=3, chunk_size=5) == [
+            x * x for x in items
+        ]
+
+    def test_on_result_streams_in_order(self):
+        seen = []
+        fan_out(
+            _square,
+            [1, 2, 3],
+            workers=2,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert seen == [(0, 1), (1, 4), (2, 9)]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_failure_carries_task_context(self, workers):
+        with pytest.raises(WorkerTaskError) as excinfo:
+            fan_out(
+                _fail_on_three,
+                [1, 2, 3, 4],
+                workers=workers,
+                label=lambda i, item: f"unit {item} (seed {1000 + i})",
+            )
+        err = excinfo.value
+        assert err.context == "unit 3 (seed 1002)"
+        assert "boom on 3" in err.cause
+        assert "ValueError" in err.worker_traceback
+        # The worker-side traceback stays visible in the rendered error.
+        assert "worker traceback" in str(err)
+
+    def test_default_context_names_index(self):
+        with pytest.raises(WorkerTaskError, match=r"task 2:"):
+            fan_out(_fail_on_three, [1, 2, 3], workers=1)
+
+    def test_empty_items(self):
+        assert fan_out(_square, [], workers=4) == []
+
+
+def _campaign_digest(results) -> str:
+    """One digest over every campaign's every day, in task order."""
+    payload = {
+        key: [day_metrics_payload(day.metrics) for day in result.days]
+        for key, result in results
+    }
+    canonical_json(payload)  # must be canonicalizable
+    return metrics_digest(payload)
+
+
+class TestSeededCampaigns:
+    """Satellite: SeedSequence-spawned seeds, stable across worker counts."""
+
+    def _tasks(self):
+        schedule = alternating_schedule(3)
+        return [
+            (name, SHORT_CONFIG, schedule)
+            for name in ("a", "b", "c", "d")
+        ]
+
+    def test_seed_from_replaces_config_seeds(self):
+        results = run_campaigns_parallel(
+            self._tasks(), workers=1, seed_from=77
+        )
+        seeds = [result.config.seed for __, result in results]
+        assert seeds == spawn_seeds(77, 4)
+        assert len(set(seeds)) == 4
+
+    def test_workers_1_and_8_identical_digests(self):
+        """The PR's determinism contract, end to end: an 8-way pool
+        produces byte-identical campaign digests to a serial run."""
+        tasks = self._tasks()
+        with pytest.warns(RuntimeWarning):  # 8 workers for 4 tasks
+            eight = run_campaigns_parallel(tasks, workers=8, seed_from=77)
+        one = run_campaigns_parallel(tasks, workers=1, seed_from=77)
+        assert _campaign_digest(one) == _campaign_digest(eight)
+
+    def test_distinct_seeds_change_results(self):
+        """Spawned children actually decorrelate the campaigns."""
+        results = run_campaigns_parallel(
+            self._tasks()[:2], workers=1, seed_from=77
+        )
+        (_, first), (_, second) = results
+        assert (
+            first.days[0].metrics.all.requests
+            != second.days[0].metrics.all.requests
+            or first.days[0].metrics != second.days[0].metrics
+        )
