@@ -212,6 +212,12 @@ def run_fleet(
     seed: int = 1993,
     workers: int | None = None,
     on_shard=None,
+    checkpoint=None,
+    resume: bool = False,
+    retry=None,
+    on_error: str = "raise",
+    chaos=None,
+    chunk_size: int | None = None,
     **overrides: object,
 ) -> FleetResult:
     """Run a multi-device fleet experiment; see ``docs/fleet.md``.
@@ -224,10 +230,18 @@ def run_fleet(
     processes (``None`` = one per shard up to the CPU count).
 
     The result's percentiles, on/off delta, and digest depend only on
-    the spec — never on ``workers`` — so runs are reproducible at any
-    parallelism.  Remaining keywords pass through to :class:`FleetSpec`
-    (``num_blocks=``, ``counter=``, ``schedule=``, ``tenancy=`` for a
-    full :class:`~repro.workload.tenancy.TenancySpec`, ...).
+    the spec — never on ``workers`` nor the resilience knobs — so runs
+    are reproducible at any parallelism.  ``checkpoint`` journals each
+    completed shard to a JSONL file (``resume=True`` skips journaled
+    shards on restart); ``retry`` takes a
+    :class:`~repro.parallel.RetryPolicy` (per-shard timeouts, bounded
+    retries, seeded backoff); ``on_error`` is ``"raise"``/``"skip"``/
+    ``"degrade"``; ``chaos`` injects a
+    :class:`~repro.faults.ChaosPlan` of worker-level faults.  See
+    ``docs/resilience.md``.  Remaining keywords pass through to
+    :class:`FleetSpec` (``num_blocks=``, ``counter=``, ``schedule=``,
+    ``tenancy=`` for a full
+    :class:`~repro.workload.tenancy.TenancySpec`, ...).
     """
     if spec is None:
         from .workload.tenancy import TenancySpec
@@ -249,7 +263,17 @@ def run_fleet(
             seed=seed,
             **overrides,
         )
-    return _run_fleet(spec, workers=workers, on_shard=on_shard)
+    return _run_fleet(
+        spec,
+        workers=workers,
+        on_shard=on_shard,
+        checkpoint=checkpoint,
+        resume=resume,
+        retry=retry,
+        on_error=on_error,
+        chaos=chaos,
+        chunk_size=chunk_size,
+    )
 
 
 def run_bench(

@@ -42,6 +42,14 @@ Three scenarios cover the simulator's hot paths from three angles:
     ``workers=1`` so wall-clock and peak memory stay machine-comparable;
     the digest is identical at any worker count by construction.
 
+``fleet_chaos``
+    A small fleet day executed twice: once at ``workers=2`` under a
+    seeded :class:`~repro.faults.ChaosPlan` (worker exceptions and hard
+    exits, absorbed by a 3-attempt retry policy), once clean and serial.
+    The scenario *asserts* the two digests match — the resilience
+    layer's core guarantee (``docs/resilience.md``) is re-proven on
+    every bench run — and times the fault-handling path.
+
 Every scenario is deterministic: fixed seeds, fixed day lengths per mode.
 ``quick`` mode shrinks the simulated day so CI can afford the suite; the
 digests of quick and full runs differ (different workloads) but each is
@@ -258,6 +266,68 @@ def _fleet_day(quick: bool) -> ScenarioResult:
     )
 
 
+def _fleet_chaos(quick: bool) -> ScenarioResult:
+    from ..faults import ChaosPlan
+    from ..fleet import FleetSpec, run_fleet
+    from ..parallel import RetryPolicy
+    from ..workload.tenancy import TenancySpec
+
+    if quick:
+        devices, tenants, hours = 16, 64, 0.02
+    else:
+        devices, tenants, hours = 64, 256, 0.05
+    spec = FleetSpec(
+        devices=devices,
+        disk="toshiba",
+        days=2,
+        hours=hours,
+        devices_per_shard=2,
+        tenancy=TenancySpec(tenants=tenants),
+        seed=1993,
+    )
+    # Single-attempt faults + max_attempts=3 guarantees completion: a
+    # chaos-ridden run that finishes must be bit-identical to the clean
+    # one, and this scenario proves it on every bench run.
+    chaos = ChaosPlan(
+        seed=29, exception_rate=0.25, exit_rate=0.1, attempts=1
+    )
+    retried = 0
+
+    def count_retry(_failure) -> None:
+        nonlocal retried
+        retried += 1
+
+    chaotic = run_fleet(
+        spec,
+        workers=2,
+        retry=RetryPolicy(max_attempts=3, backoff_s=0.0, seed=spec.seed),
+        chaos=chaos,
+        chunk_size=1,
+        on_retry=count_retry,
+    )
+    clean = run_fleet(spec, workers=1)
+    if chaotic.digest() != clean.digest():
+        raise RuntimeError(
+            "chaos run digest diverged from fault-free run: "
+            f"{chaotic.digest()} != {clean.digest()}"
+        )
+    return ScenarioResult(
+        payload=chaotic.payload(),
+        events=chaotic.events,
+        requests=chaotic.total_requests,
+        detail={
+            "disk": "toshiba",
+            "devices": devices,
+            "shards": spec.num_shards,
+            "hours": hours,
+            "retried_tasks": chaotic.retried_tasks,
+            "retries_observed": retried,
+            "fleet_digest": chaotic.digest(),
+            "clean_digest": clean.digest(),
+        },
+    )
+
+
 def _trace_replay(quick: bool) -> ScenarioResult:
     from ..traces import fixture_path, ingest_trace, replay_jobs
 
@@ -341,6 +411,12 @@ SCENARIOS: dict[str, Scenario] = {
             "fleet_day",
             "sharded multi-tenant fleet day with streaming aggregation",
             _fleet_day,
+        ),
+        Scenario(
+            "fleet_chaos",
+            "fleet day under injected worker faults; digest must match "
+            "the clean run",
+            _fleet_chaos,
         ),
     )
 }

@@ -325,8 +325,10 @@ def cmd_trace(args) -> int:
 
 
 def cmd_fleet(args) -> int:
-    from .fleet import FleetSpec, render_fleet, run_fleet
+    from .faults.chaos import ChaosSpecError, parse_chaos_spec
+    from .fleet import CheckpointError, FleetSpec, render_fleet, run_fleet
     from .obs import ShardProgress
+    from .parallel import RetryPolicy, WorkerTaskError
     from .workload.tenancy import TenancySpec
 
     try:
@@ -348,19 +350,66 @@ def cmd_fleet(args) -> int:
         )
     except ValueError as exc:
         raise SystemExit(f"bad fleet spec: {exc}")
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = parse_chaos_spec(args.chaos)
+        except ChaosSpecError as exc:
+            raise SystemExit(f"bad chaos spec: {exc}")
+    retry = None
+    if (
+        args.retries != 1
+        or args.task_timeout is not None
+        or args.backoff > 0
+    ):
+        try:
+            retry = RetryPolicy(
+                max_attempts=args.retries,
+                timeout_s=args.task_timeout,
+                backoff_s=args.backoff,
+                seed=spec.seed,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad retry policy: {exc}")
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("--resume needs --checkpoint PATH to resume from")
     progress = (
         ShardProgress(spec.num_shards, what="fleet shard")
         if args.progress
         else None
     )
-    result = run_fleet(spec, workers=args.workers, on_shard=progress)
+    try:
+        result = run_fleet(
+            spec,
+            workers=args.workers,
+            on_shard=progress,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            retry=retry,
+            on_error=args.on_error,
+            chaos=chaos,
+            chunk_size=args.chunk_size,
+            on_retry=progress.note_retry if progress else None,
+            on_failure=progress.note_failure if progress else None,
+        )
+    except CheckpointError as exc:
+        raise SystemExit(f"cannot resume: {exc}")
+    except WorkerTaskError as exc:
+        hint = (
+            f"\n(completed shards are journaled in {args.checkpoint}; "
+            "re-run with --resume to continue)"
+            if args.checkpoint
+            else "\n(re-run with --checkpoint PATH to make runs resumable, "
+            "or --on-error degrade to finish with a partial result)"
+        )
+        raise SystemExit(f"fleet run failed: {exc}{hint}")
     if args.json:
         import json
 
         print(json.dumps(result.payload(), indent=2, sort_keys=True))
     else:
         print(render_fleet(result))
-    return 0
+    return 1 if result.degraded and args.on_error != "skip" else 0
 
 
 def cmd_bench(args) -> int:
@@ -604,6 +653,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="analyzer counter strategy (bounded sketch by default)",
     )
     fleet.add_argument("--seed", type=int, default=1993)
+    fleet.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="shards per dispatch batch (default: tasks/(workers*4); "
+        "1 gives the smoothest progress and earliest failure detection)",
+    )
+    fleet.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="journal each completed shard to this JSONL file "
+        "(see docs/resilience.md)",
+    )
+    fleet.add_argument(
+        "--resume", action="store_true",
+        help="skip shards already journaled in --checkpoint; the "
+        "finished run's digest is identical to an uninterrupted one",
+    )
+    fleet.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="attempts per shard before giving up (default: 1 = no "
+        "retries); retried attempts re-run the same seeds, so results "
+        "never change",
+    )
+    fleet.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-shard deadline; stragglers are killed and re-dispatched "
+        "(counts as one attempt)",
+    )
+    fleet.add_argument(
+        "--backoff", type=float, default=0.0, metavar="SECONDS",
+        help="base retry delay, doubled per attempt with seeded jitter",
+    )
+    fleet.add_argument(
+        "--on-error", choices=("raise", "skip", "degrade"), default="raise",
+        help="what exhausted shards do: fail the run, or drop the shard "
+        "and return a partial result with a failed-shard manifest",
+    )
+    fleet.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="inject worker faults for testing, e.g. "
+        "'seed=7,exception=0.2,exit=0.1,attempts=1' "
+        "(see docs/resilience.md for the grammar)",
+    )
     fleet.add_argument(
         "--progress", action="store_true",
         help="print a line per completed shard to stderr",

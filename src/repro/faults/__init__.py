@@ -11,12 +11,17 @@ on demand:
 * :class:`BlockTableInvariants` — the checker that proves recovery lost
   nothing;
 * :class:`SimulatedCrash` — raised at a crash point, caught by whichever
-  layer owns the interrupted activity.
+  layer owns the interrupted activity;
+* :class:`ChaosPlan` — seeded *worker-level* chaos (task exceptions,
+  hangs, hard ``os._exit``) injected into :func:`repro.parallel.fan_out`
+  to prove the fleet executor's retry/timeout/re-dispatch guarantees
+  (see ``docs/resilience.md``).
 
 With no plan attached the rest of the system pays nothing: the driver's
 fault hook is a single ``is None`` test.
 """
 
+from .chaos import ChaosError, ChaosPlan, ChaosSpecError, parse_chaos_spec
 from .injector import MEDIA, TRANSIENT, FaultInjector, SimulatedCrash
 from .invariants import BlockTableInvariants, InvariantViolation
 from .plan import DEGRADE_ACTIONS, FaultPlan
@@ -24,6 +29,9 @@ from .spec import FaultSpecError, parse_fault_spec
 
 __all__ = [
     "BlockTableInvariants",
+    "ChaosError",
+    "ChaosPlan",
+    "ChaosSpecError",
     "DEGRADE_ACTIONS",
     "FaultInjector",
     "FaultPlan",
@@ -32,5 +40,6 @@ __all__ = [
     "MEDIA",
     "SimulatedCrash",
     "TRANSIENT",
+    "parse_chaos_spec",
     "parse_fault_spec",
 ]

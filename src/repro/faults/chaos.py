@@ -1,0 +1,227 @@
+"""Worker-level chaos injection for fan-out runs.
+
+:mod:`repro.faults` injects *device* misbehaviour inside the simulation;
+this module injects *orchestration* misbehaviour around it: task
+attempts that raise, hang, or kill their worker process outright, the
+failure classes a fleet-scale run meets in production (flaky
+dependencies, livelocks, OOM kills).  A :class:`ChaosPlan` rides into
+:func:`repro.parallel.fan_out` via its ``chaos=`` parameter and is
+consulted on the worker, before the task function runs, so the injected
+faults exercise the executor's real recovery paths — retry, straggler
+kill, worker-death re-dispatch.
+
+Determinism: the fault for ``(task index, attempt)`` is a pure function
+of the plan — each draw comes from its own ``random.Random`` seeded with
+``(seed, index, attempt)`` — never from shared mutable RNG state, so the
+injected schedule is identical at any worker count and on resume.  And
+because chaos only perturbs *execution* (the task item and its seed are
+re-sent unchanged on retry), a chaos run that completes has results
+bit-identical to a fault-free run of the same spec: that equality is the
+``fleet_chaos`` scenario's acceptance check.
+
+By default faults hit only each task's first attempt (``attempts=1``),
+so any retry policy with ``max_attempts >= 2`` is guaranteed to finish.
+Raise ``attempts`` (or set rates to 1.0 with ``tasks=...`` targeting) to
+build tasks that fail permanently and drive the ``on_error`` degradation
+paths.
+
+The ``--chaos`` CLI grammar mirrors ``--faults``::
+
+    seed=7,exception=0.25,hang=0.1,exit=0.1,hang-s=30,attempts=1,tasks=2+5
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+
+__all__ = ["ChaosError", "ChaosPlan", "ChaosSpecError", "parse_chaos_spec"]
+
+EXCEPTION = "exception"
+"""The attempt raises :class:`ChaosError` (a transient task failure)."""
+
+HANG = "hang"
+"""The attempt sleeps ``hang_s`` before proceeding (a straggler or
+livelock; needs a :class:`~repro.parallel.RetryPolicy` timeout to be
+recovered)."""
+
+EXIT = "exit"
+"""The worker process hard-exits via ``os._exit`` (the SIGKILL/OOM
+class: no exception, no cleanup, no goodbye)."""
+
+
+class ChaosError(RuntimeError):
+    """The exception an injected ``exception`` fault raises in a task."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Frozen, picklable, seeded plan of worker-level faults.
+
+    Rates are per-attempt probabilities, evaluated in the fixed order
+    exception -> hang -> exit from one uniform draw, so they must sum to
+    at most 1.  ``tasks`` (``None`` = all) restricts faults to the given
+    task indices; ``attempts`` restricts them to each task's first N
+    attempts.  Both restrictions exist to make chaos *provable*: a plan
+    with ``attempts=1`` and ``max_attempts >= 2`` retries must complete,
+    and a plan with ``exception_rate=1.0, attempts=10**6, tasks=(3,)``
+    must fail task 3 and nothing else.
+    """
+
+    seed: int = 0
+    exception_rate: float = 0.0
+    hang_rate: float = 0.0
+    exit_rate: float = 0.0
+    hang_s: float = 3600.0
+    exit_code: int = 137
+    attempts: int = 1
+    tasks: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("exception_rate", "hang_rate", "exit_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.exception_rate + self.hang_rate + self.exit_rate > 1.0 + 1e-12:
+            raise ValueError(
+                "exception_rate + hang_rate + exit_rate must not exceed 1"
+            )
+        if self.hang_s <= 0:
+            raise ValueError(f"hang_s must be positive, got {self.hang_s}")
+        if self.attempts < 0:
+            raise ValueError("attempts must be non-negative")
+        if self.tasks is not None and any(t < 0 for t in self.tasks):
+            raise ValueError("tasks indices must be non-negative")
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan can never inject anything."""
+        return (
+            self.exception_rate == 0.0
+            and self.hang_rate == 0.0
+            and self.exit_rate == 0.0
+        ) or self.attempts == 0
+
+    def fault_for(self, index: int, attempt: int) -> str | None:
+        """The fault injected into ``(task index, attempt)``, or ``None``.
+
+        A pure function of the plan: the draw is seeded per
+        ``(seed, index, attempt)``, so the schedule does not depend on
+        worker count, dispatch order, or how many other tasks faulted.
+        """
+        if attempt > self.attempts:
+            return None
+        if self.tasks is not None and index not in self.tasks:
+            return None
+        draw = random.Random(f"chaos:{self.seed}:{index}:{attempt}").random()
+        if draw < self.exception_rate:
+            return EXCEPTION
+        if draw < self.exception_rate + self.hang_rate:
+            return HANG
+        if draw < self.exception_rate + self.hang_rate + self.exit_rate:
+            return EXIT
+        return None
+
+    def schedule(self, tasks: int) -> dict[int, list[str]]:
+        """Every fault the plan will inject for ``tasks`` first attempts.
+
+        Diagnostic helper (used by tests and docs examples): maps task
+        index to the fault kinds of attempts ``1..self.attempts``.
+        """
+        plan: dict[int, list[str]] = {}
+        for index in range(tasks):
+            kinds = [
+                kind
+                for attempt in range(1, self.attempts + 1)
+                if (kind := self.fault_for(index, attempt)) is not None
+            ]
+            if kinds:
+                plan[index] = kinds
+        return plan
+
+    def apply(self, index: int, attempt: int) -> None:
+        """Inject this attempt's fault, if any.  Runs on the worker.
+
+        ``exception`` raises; ``hang`` sleeps ``hang_s`` and then lets
+        the task proceed (the parent's timeout, if any, kills the
+        straggler first); ``exit`` terminates the worker process with
+        ``os._exit`` — no exception propagation, no buffered goodbye,
+        exactly what an OOM kill looks like from the parent.
+        """
+        kind = self.fault_for(index, attempt)
+        if kind is None:
+            return
+        if kind == EXCEPTION:
+            raise ChaosError(
+                f"chaos: injected exception (task {index}, attempt {attempt})"
+            )
+        if kind == HANG:
+            time.sleep(self.hang_s)
+            return
+        os._exit(self.exit_code)
+
+
+class ChaosSpecError(ValueError):
+    """A ``--chaos`` spec string that does not parse."""
+
+
+def parse_chaos_spec(spec: str) -> ChaosPlan:
+    """Parse a ``--chaos`` spec string into a :class:`ChaosPlan`.
+
+    Comma-separated ``key=value`` entries (grammar in
+    ``docs/resilience.md``)::
+
+        seed=N            RNG seed for the per-attempt fault draws
+        exception=P       probability an attempt raises ChaosError
+        hang=P            probability an attempt sleeps hang-s first
+        exit=P            probability the worker hard-exits (os._exit)
+        hang-s=S          hang duration in seconds (default 3600)
+        exit-code=N       exit code of injected hard exits (default 137)
+        attempts=N        inject only into each task's first N attempts
+        tasks=I1+I2+...   restrict faults to these task indices
+    """
+    fields: dict[str, object] = {}
+    for raw in spec.split(","):
+        entry = raw.strip()
+        if not entry:
+            continue
+        key, sep, value = entry.partition("=")
+        if not sep or not value:
+            raise ChaosSpecError(
+                f"chaos spec entries must look like key=value: {entry!r}"
+            )
+        key = key.strip().lower()
+        value = value.strip()
+        try:
+            if key == "seed":
+                fields["seed"] = int(value)
+            elif key == "exception":
+                fields["exception_rate"] = float(value)
+            elif key == "hang":
+                fields["hang_rate"] = float(value)
+            elif key == "exit":
+                fields["exit_rate"] = float(value)
+            elif key == "hang-s":
+                fields["hang_s"] = float(value)
+            elif key == "exit-code":
+                fields["exit_code"] = int(value)
+            elif key == "attempts":
+                fields["attempts"] = int(value)
+            elif key == "tasks":
+                fields["tasks"] = tuple(int(t) for t in value.split("+"))
+            else:
+                raise ChaosSpecError(
+                    f"unknown chaos spec key {key!r} in {entry!r}"
+                )
+        except ChaosSpecError:
+            raise
+        except ValueError:
+            raise ChaosSpecError(
+                f"bad value {value!r} for {key!r} in {entry!r}"
+            ) from None
+    try:
+        return ChaosPlan(**fields)  # type: ignore[arg-type]
+    except ValueError as exc:
+        raise ChaosSpecError(str(exc)) from None

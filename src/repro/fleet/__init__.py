@@ -17,19 +17,34 @@ multi-tenant workload?  It composes three layers built below it:
 Determinism contract: the shard layout and every seed derive from
 :class:`FleetSpec` alone (via ``SeedSequence.spawn``), never from the
 worker count — ``run_fleet(spec, workers=1)`` and ``workers=8`` produce
-bit-identical digests.
+bit-identical digests.  The resilience layer (``docs/resilience.md``)
+extends the contract to failure handling: retries re-run identical
+tasks, checkpointed shards round-trip exactly, so a chaos-ridden or
+resumed run that completes is bit-identical to an uninterrupted one.
 """
 
-from .result import FleetResult, ShardResult, render_fleet
+from .checkpoint import CheckpointError, FleetJournal, spec_digest
+from .result import (
+    FleetResult,
+    ShardFailure,
+    ShardResult,
+    render_fleet,
+    spec_payload,
+)
 from .runner import ShardTask, build_shard_tasks, run_fleet
 from .spec import FleetSpec
 
 __all__ = [
+    "CheckpointError",
+    "FleetJournal",
     "FleetResult",
     "FleetSpec",
+    "ShardFailure",
     "ShardResult",
     "ShardTask",
     "build_shard_tasks",
     "render_fleet",
     "run_fleet",
+    "spec_digest",
+    "spec_payload",
 ]

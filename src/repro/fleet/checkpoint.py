@@ -1,0 +1,210 @@
+"""Checkpoint journal: crash-safe JSONL record of completed shards.
+
+A fleet run pays a small, bounded journaling overhead — one JSON line
+per completed shard, a few KB of log-histogram payload — to make the
+completed work durable: the amortized-cost bargain of *Cost-Oblivious
+Storage Reallocation* applied to the orchestration layer.  Kill the run
+at any point (crash, OOM, Ctrl-C, exhausted retries) and a resume
+re-runs only the shards the journal does not hold; because each shard is
+a pure function of its :class:`~repro.fleet.runner.ShardTask` and
+journal records round-trip shard payloads exactly (JSON floats use
+``repr`` semantics), the resumed :class:`~repro.fleet.result.FleetResult`
+is bit-identical to an uninterrupted run — the resume regression tests
+pin that at ``workers=1`` and ``workers=8``.
+
+Format (version 1): line 1 is a header binding the journal to one
+:class:`~repro.fleet.spec.FleetSpec` by digest; every further line is
+one completed shard's payload with its own digest::
+
+    {"kind": "fleet-checkpoint", "version": 1, "spec_digest": "sha256:..."}
+    {"kind": "shard", "index": 0, "digest": "sha256:...", "payload": {...}}
+
+Safety properties:
+
+* a journal is bound to its spec — resuming with a different spec (or a
+  journal that is not a fleet checkpoint) is an error, not a silently
+  wrong merge;
+* every record carries a digest over its canonical payload JSON —
+  bit-rot or hand-editing is detected, and the record is refused;
+* a torn tail (the process died mid-append) is tolerated: the partial
+  last line is dropped with a warning and its shard simply re-runs;
+* appends are flushed and fsynced per record, so a journal is never more
+  than one shard behind the truth.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import warnings
+from pathlib import Path
+
+from ..bench.digest import metrics_digest
+from .result import ShardResult, spec_payload
+from .spec import FleetSpec
+
+__all__ = ["CheckpointError", "FleetJournal", "spec_digest"]
+
+_FORMAT = "fleet-checkpoint"
+_VERSION = 1
+
+
+class CheckpointError(ValueError):
+    """A checkpoint journal that cannot be used (wrong spec, corrupt)."""
+
+
+def spec_digest(spec: FleetSpec) -> str:
+    """``sha256:<hex>`` identity of a fleet spec (results excluded)."""
+    return metrics_digest(spec_payload(spec))
+
+
+class FleetJournal:
+    """Append-only JSONL journal of one fleet run's completed shards."""
+
+    def __init__(self, path: str | os.PathLike, spec: FleetSpec) -> None:
+        self.path = Path(path)
+        self.spec = spec
+        self.spec_digest = spec_digest(spec)
+        self._stream: io.TextIOWrapper | None = None
+
+    # -- reading ---------------------------------------------------------
+
+    def load(self) -> dict[int, ShardResult]:
+        """Journaled shard results by shard index; ``{}`` if absent.
+
+        Verifies the header belongs to this journal's spec and each
+        record's digest matches its payload.  A malformed or torn line
+        ends the scan with a warning — the remaining shards re-run,
+        which is always safe.
+        """
+        if not self.path.exists():
+            return {}
+        completed: dict[int, ShardResult] = {}
+        with self.path.open("r", encoding="utf-8") as stream:
+            for lineno, line in enumerate(stream, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    warnings.warn(
+                        f"checkpoint {self.path}: line {lineno} is not valid "
+                        "JSON (torn write from a crash?); ignoring the rest "
+                        "of the journal — those shards will re-run",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    break
+                if lineno == 1:
+                    self._check_header(record)
+                    continue
+                index = self._check_record(record, lineno)
+                if index is None:
+                    break
+                completed[index] = ShardResult.from_payload(record["payload"])
+        return completed
+
+    def _check_header(self, record: dict) -> None:
+        if (
+            record.get("kind") != _FORMAT
+            or record.get("version") != _VERSION
+        ):
+            raise CheckpointError(
+                f"{self.path} is not a version-{_VERSION} fleet checkpoint "
+                f"(header: {record})"
+            )
+        found = record.get("spec_digest")
+        if found != self.spec_digest:
+            raise CheckpointError(
+                f"checkpoint {self.path} belongs to a different fleet spec "
+                f"({found} != {self.spec_digest}); refusing to resume — "
+                "mixing shards across specs would corrupt the result"
+            )
+
+    def _check_record(self, record: dict, lineno: int) -> int | None:
+        """Validated shard index of one record, or ``None`` to stop."""
+        if record.get("kind") != "shard":
+            warnings.warn(
+                f"checkpoint {self.path}: line {lineno} has unexpected kind "
+                f"{record.get('kind')!r}; ignoring the rest of the journal",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        payload = record.get("payload")
+        index = record.get("index")
+        if payload is None or index is None:
+            warnings.warn(
+                f"checkpoint {self.path}: line {lineno} is incomplete; "
+                "ignoring the rest of the journal",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        if metrics_digest(payload) != record.get("digest"):
+            raise CheckpointError(
+                f"checkpoint {self.path}: line {lineno} fails its digest "
+                "check (corrupt or edited journal); refusing to resume "
+                "from it"
+            )
+        if index != payload.get("index"):
+            raise CheckpointError(
+                f"checkpoint {self.path}: line {lineno} record index "
+                f"{index} disagrees with its payload"
+            )
+        return int(index)
+
+    # -- writing ---------------------------------------------------------
+
+    def open_for_append(self, fresh: bool) -> None:
+        """Open the journal for appends, writing the header when new.
+
+        ``fresh`` truncates any existing file first (a non-resume run
+        must not silently mix with an old journal — callers decide that
+        policy; see :func:`repro.fleet.runner.run_fleet`).
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "w" if fresh or not self.path.exists() else "a"
+        self._stream = self.path.open(mode, encoding="utf-8")
+        if mode == "w" or self.path.stat().st_size == 0:
+            self._write_line(
+                {
+                    "kind": _FORMAT,
+                    "version": _VERSION,
+                    "spec_digest": self.spec_digest,
+                    "spec": spec_payload(self.spec),
+                }
+            )
+
+    def append(self, result: ShardResult) -> None:
+        """Durably journal one completed shard (flush + fsync)."""
+        if self._stream is None:
+            raise CheckpointError("journal is not open for appends")
+        payload = result.payload()
+        self._write_line(
+            {
+                "kind": "shard",
+                "index": result.index,
+                "digest": metrics_digest(payload),
+                "payload": payload,
+            }
+        )
+
+    def _write_line(self, record: dict) -> None:
+        assert self._stream is not None
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "FleetJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -6,10 +6,20 @@ plus per-device request totals — and :class:`FleetResult` folds those
 into fleet-wide answers: p50/p95/p99 service time, the on-vs-off
 improvement, per-shard load skew.
 
-The digest deliberately excludes execution details (worker count): it is
-a function of :class:`~repro.fleet.spec.FleetSpec` alone, which is what
-lets the bench gate pin one committed digest and the regression tests
-assert ``workers=1`` equals ``workers=8`` bit for bit.
+The digest deliberately excludes execution details (worker count, retry
+policy, chaos): it is a function of :class:`~repro.fleet.spec.FleetSpec`
+alone, which is what lets the bench gate pin one committed digest and
+the regression tests assert ``workers=1`` equals ``workers=8`` — and a
+chaos run equals a fault-free one — bit for bit.
+
+The one exception is degradation: when shards fail permanently (their
+retries exhausted under ``on_error="skip"``/``"degrade"``), the result
+is *partial* — it carries a failed-shard manifest
+(:class:`ShardFailure`: shard id, devices, seed, attempts, last error),
+its percentiles cover completed shards only, and both the payload and
+the rendered report say so loudly.  A degraded digest therefore differs
+from the complete one by construction: partial answers must never be
+mistaken for whole ones.
 """
 
 from __future__ import annotations
@@ -17,10 +27,79 @@ from __future__ import annotations
 import hashlib
 from dataclasses import dataclass, field
 
+from ..stats.report import coverage_note
 from ..stats.streaming import LogHistogram, merge_histograms
 from .spec import FleetSpec
 
-__all__ = ["FleetResult", "ShardResult", "render_fleet"]
+__all__ = [
+    "FleetResult",
+    "ShardFailure",
+    "ShardResult",
+    "render_fleet",
+    "spec_payload",
+]
+
+
+def spec_payload(spec: FleetSpec) -> dict:
+    """Canonical JSON-able identity of a fleet spec.
+
+    Everything that affects results and nothing that does not — shared
+    by :meth:`FleetResult.payload` and the checkpoint journal header
+    (:func:`repro.fleet.checkpoint.spec_digest`), so a journal binds to
+    exactly the spec identity the digest pins.
+    """
+    return {
+        "devices": spec.devices,
+        "disk": spec.disk,
+        "days": list(spec.resolved_schedule()),
+        "hours": spec.hours,
+        "devices_per_shard": spec.devices_per_shard,
+        "num_blocks": spec.num_blocks,
+        "counter": spec.counter,
+        "placement_policy": spec.placement_policy,
+        "queue_policy": spec.queue_policy,
+        "seed": spec.seed,
+        "tenancy": {
+            "tenants": spec.tenancy.tenants,
+            "tenant_skew": spec.tenancy.tenant_skew,
+            "hot_set_overlap": spec.tenancy.hot_set_overlap,
+            "sessions_per_tenant_hour": (
+                spec.tenancy.sessions_per_tenant_hour
+            ),
+            "opens_per_tenant_hour": spec.tenancy.opens_per_tenant_hour,
+            "files_per_tenant": spec.tenancy.files_per_tenant,
+            "user_locality": spec.tenancy.user_locality,
+            "profile": spec.tenancy.profile,
+        },
+    }
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One shard that exhausted its retries (the failed-shard manifest).
+
+    Everything an operator needs to re-run the shard serially: which
+    shard, which devices, which seed, how many attempts were burned, and
+    what the last attempt died of (``kind`` is ``"exception"`` /
+    ``"timeout"`` / ``"worker-death"``).
+    """
+
+    index: int
+    devices: tuple[str, ...]
+    seed: int
+    attempts: int
+    kind: str
+    error: str
+
+    def payload(self) -> dict:
+        return {
+            "index": self.index,
+            "devices": list(self.devices),
+            "seed": self.seed,
+            "attempts": self.attempts,
+            "kind": self.kind,
+            "error": self.error,
+        }
 
 
 @dataclass
@@ -70,6 +149,29 @@ class ShardResult:
             "events": self.events,
         }
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ShardResult":
+        """Rebuild a shard result from its :meth:`payload` form.
+
+        Exact inverse: JSON floats round-trip with ``repr`` semantics
+        and the histograms rebuild bin-for-bin, so a shard loaded from a
+        checkpoint journal contributes the identical bytes to the fleet
+        digest as the freshly computed original.
+        """
+        return cls(
+            index=int(payload["index"]),
+            seed=int(payload["seed"]),
+            device_requests={
+                name: int(count)
+                for name, count in payload["device_requests"].items()
+            },
+            service_on=LogHistogram.from_payload(payload["service_on"]),
+            service_off=LogHistogram.from_payload(payload["service_off"]),
+            rearranged_blocks=int(payload["rearranged_blocks"]),
+            days=int(payload["days"]),
+            events=int(payload["events"]),
+        )
+
 
 @dataclass
 class FleetResult:
@@ -80,6 +182,14 @@ class FleetResult:
     workers: int | None = None
     """How many worker processes executed the run — recorded for bench
     metadata, excluded from :meth:`payload` and :meth:`digest`."""
+    failures: list[ShardFailure] = field(default_factory=list)
+    """Shards that exhausted their retries and were dropped (empty for a
+    complete run).  Non-empty failures mark the result :attr:`degraded`
+    and *do* enter the payload/digest: a partial answer must not hash
+    like a whole one."""
+    retried_tasks: int = 0
+    """Shard attempts that failed but were retried (execution detail,
+    excluded from the digest — a retried success is bit-identical)."""
     _service_on: LogHistogram | None = field(
         default=None, repr=False, compare=False
     )
@@ -91,10 +201,12 @@ class FleetResult:
 
     @property
     def service_on(self) -> LogHistogram:
-        """Fleet-wide service times on rearranged days."""
+        """Fleet-wide service times on rearranged days (completed shards)."""
         if self._service_on is None:
-            self._service_on = merge_histograms(
-                shard.service_on for shard in self.shards
+            self._service_on = (
+                merge_histograms(shard.service_on for shard in self.shards)
+                if self.shards
+                else LogHistogram()
             )
         return self._service_on
 
@@ -102,8 +214,10 @@ class FleetResult:
     def service_off(self) -> LogHistogram:
         """Fleet-wide service times on unrearranged (training) days."""
         if self._service_off is None:
-            self._service_off = merge_histograms(
-                shard.service_off for shard in self.shards
+            self._service_off = (
+                merge_histograms(shard.service_off for shard in self.shards)
+                if self.shards
+                else LogHistogram()
             )
         return self._service_off
 
@@ -152,36 +266,33 @@ class FleetResult:
     def shard_skews(self) -> dict[int, float]:
         return {shard.index: shard.skew for shard in self.shards}
 
+    # -- degradation -----------------------------------------------------
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run lost shards: percentiles are partial."""
+        return bool(self.failures)
+
+    @property
+    def failed_shards(self) -> int:
+        return len(self.failures)
+
+    @property
+    def total_shards(self) -> int:
+        return len(self.shards) + len(self.failures)
+
     # -- stable identity -------------------------------------------------
 
     def payload(self) -> dict:
-        """Canonical JSON-able form; a pure function of the spec."""
-        spec = self.spec
-        return {
-            "spec": {
-                "devices": spec.devices,
-                "disk": spec.disk,
-                "days": list(spec.resolved_schedule()),
-                "hours": spec.hours,
-                "devices_per_shard": spec.devices_per_shard,
-                "num_blocks": spec.num_blocks,
-                "counter": spec.counter,
-                "placement_policy": spec.placement_policy,
-                "queue_policy": spec.queue_policy,
-                "seed": spec.seed,
-                "tenancy": {
-                    "tenants": spec.tenancy.tenants,
-                    "tenant_skew": spec.tenancy.tenant_skew,
-                    "hot_set_overlap": spec.tenancy.hot_set_overlap,
-                    "sessions_per_tenant_hour": (
-                        spec.tenancy.sessions_per_tenant_hour
-                    ),
-                    "opens_per_tenant_hour": spec.tenancy.opens_per_tenant_hour,
-                    "files_per_tenant": spec.tenancy.files_per_tenant,
-                    "user_locality": spec.tenancy.user_locality,
-                    "profile": spec.tenancy.profile,
-                },
-            },
+        """Canonical JSON-able form; a pure function of the spec.
+
+        For a complete run the payload (and so the digest) depends on
+        the spec alone — worker count, retries, chaos all excluded.  A
+        degraded run adds a ``"failures"`` manifest and a ``"degraded"``
+        marker, so partial results are distinguishable by digest.
+        """
+        payload = {
+            "spec": spec_payload(self.spec),
             "shards": [shard.payload() for shard in self.shards],
             "summary": {
                 "devices": self.devices,
@@ -192,6 +303,13 @@ class FleetResult:
                 "p99_ms": self.p99_ms,
             },
         }
+        if self.failures:
+            payload["degraded"] = True
+            payload["failures"] = [
+                failure.payload()
+                for failure in sorted(self.failures, key=lambda f: f.index)
+            ]
+        return payload
 
     def digest(self) -> str:
         """``sha256:<hex>`` over the canonical payload JSON."""
@@ -202,8 +320,18 @@ class FleetResult:
 
 
 def render_fleet(result: FleetResult) -> str:
-    """Human-readable fleet summary (the ``repro fleet`` output)."""
+    """Human-readable fleet summary (the ``repro fleet`` output).
+
+    A degraded run is annotated twice: a leading ``DEGRADED`` banner
+    naming the lost shards, and a coverage note on the percentile lines
+    — partial percentiles must never read like fleet-wide ones.
+    """
     spec = result.spec
+    degraded_note = ""
+    if result.degraded:
+        degraded_note = " " + coverage_note(
+            len(result.shards), result.total_shards, what="shard"
+        )
     lines = [
         f"fleet: {spec.devices} x {spec.disk} devices, "
         f"{result.total_requests} requests over "
@@ -211,14 +339,32 @@ def render_fleet(result: FleetResult) -> str:
         f"({spec.tenancy.tenants} tenants, "
         f"overlap {spec.tenancy.hot_set_overlap:.2f})",
         f"  shards: {len(result.shards)} x {spec.devices_per_shard} devices"
-        + (f", {result.workers} worker(s)" if result.workers else ""),
+        + (f", {result.workers} worker(s)" if result.workers else "")
+        + (
+            f", {result.retried_tasks} retried attempt(s)"
+            if result.retried_tasks
+            else ""
+        ),
+    ]
+    if result.degraded:
+        failed = ", ".join(
+            f"shard {failure.index} ({failure.kind}: {failure.error}, "
+            f"{failure.attempts} attempts)"
+            for failure in sorted(result.failures, key=lambda f: f.index)
+        )
+        lines.append(
+            f"  DEGRADED: {result.failed_shards}/{result.total_shards} "
+            f"shard(s) failed permanently — {failed}"
+        )
+    lines += [
         "  service time (rearranged days): "
         f"p50 {result.p50_ms:.1f} ms, p95 {result.p95_ms:.1f} ms, "
-        f"p99 {result.p99_ms:.1f} ms",
+        f"p99 {result.p99_ms:.1f} ms" + degraded_note,
         "  service time (off days):        "
         f"p50 {result.service_percentile_ms(0.50, rearranged=False):.1f} ms, "
         f"p95 {result.service_percentile_ms(0.95, rearranged=False):.1f} ms, "
-        f"p99 {result.service_percentile_ms(0.99, rearranged=False):.1f} ms",
+        f"p99 {result.service_percentile_ms(0.99, rearranged=False):.1f} ms"
+        + degraded_note,
         f"  mean service delta (on vs off): "
         f"{100.0 * result.onoff_service_delta:+.1f}%",
         f"  rearranged blocks resident: {result.rearranged_blocks}",

@@ -15,17 +15,25 @@ totals, never raw samples or per-request state.
 
 from __future__ import annotations
 
+import os
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
-from ..parallel import fan_out, resolve_workers, spawn_seeds
+from ..parallel import (
+    RetryPolicy,
+    TaskFailure,
+    fan_out,
+    resolve_workers,
+    spawn_seeds,
+)
 from ..sim.multifs import DiskSpec, MultiDiskExperiment
 from ..stats.streaming import LogHistogram
 from ..workload.tenancy import SharedHotSet, device_profiles
-from .result import FleetResult, ShardResult
+from .checkpoint import FleetJournal
+from .result import FleetResult, ShardFailure, ShardResult
 from .spec import FleetSpec
 
 __all__ = ["ShardTask", "build_shard_tasks", "run_fleet"]
@@ -147,22 +155,123 @@ def run_fleet(
     spec: FleetSpec,
     workers: int | None = None,
     on_shard: Callable[[int, ShardResult], None] | None = None,
+    *,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+    retry: RetryPolicy | None = None,
+    on_error: str = "raise",
+    chaos: Any | None = None,
+    chunk_size: int | None = None,
+    on_retry: Callable[[TaskFailure], None] | None = None,
+    on_failure: Callable[[TaskFailure], None] | None = None,
 ) -> FleetResult:
     """Run a whole fleet and aggregate its shard results.
 
-    ``workers`` is pure execution detail (``None`` = one worker per
-    shard up to the CPU count); the result's digest is identical at any
-    value.  ``on_shard`` is called in the parent, in shard order, as
-    each shard's result arrives — the progress hook for long runs.
+    Execution knobs — ``workers`` (``None`` = one worker per shard up to
+    the CPU count), ``chunk_size`` (shards per dispatch message; small
+    fleets want ``1`` for smooth progress and early failure detection),
+    ``retry`` (per-shard timeouts, bounded retries, seeded backoff) and
+    ``chaos`` (injected worker faults, for testing) — never change the
+    digest: a retried or chaos-ridden run that completes is bit-identical
+    to a clean serial one.  Attaching ``chaos`` forces pool execution
+    even at ``workers=1``, since injected hard exits must kill a child
+    process, not the caller.
+
+    ``checkpoint`` journals each completed shard to a JSONL file as it
+    lands; with ``resume=True`` an existing journal's shards are loaded
+    (and skipped) first, so an interrupted run finishes paying only for
+    the shards it lost.  Without ``resume``, an existing journal is
+    truncated: a fresh run must not silently mix with stale records.
+
+    ``on_error`` decides what exhausted shards do (see
+    :data:`repro.parallel.ON_ERROR_POLICIES`): ``"raise"`` fails the
+    run; ``"skip"``/``"degrade"`` drop the shard and return a *partial*
+    :class:`FleetResult` carrying a failed-shard manifest, with its
+    percentiles annotated as degraded in reports.
+
+    Hooks run in the parent: ``on_shard(shard_index, result)`` in shard
+    order (progress), ``on_retry(TaskFailure)`` per retried attempt,
+    ``on_failure(TaskFailure)`` per permanently failed shard.
     """
     tasks = build_shard_tasks(spec)
-    workers = resolve_workers(workers, len(tasks), what="fleet shard")
-    shards = fan_out(
-        _run_shard,
-        tasks,
-        workers,
-        label=_shard_label,
-        on_result=on_shard,
-        what="fleet shard",
+    journaled: dict[int, ShardResult] = {}
+    journal: FleetJournal | None = None
+    if checkpoint is not None:
+        journal = FleetJournal(checkpoint, spec)
+        if resume:
+            journaled = journal.load()
+        journal.open_for_append(fresh=not resume)
+        for index in sorted(journaled):
+            journal_result = journaled[index]
+            if on_shard is not None:
+                on_shard(index, journal_result)
+    pending = [task for task in tasks if task.index not in journaled]
+    workers = resolve_workers(
+        workers, len(pending) or len(tasks), what="fleet shard"
     )
-    return FleetResult(spec=spec, shards=shards, workers=workers)
+
+    retried = 0
+    failures: list[ShardFailure] = []
+
+    def note_retry(failure: TaskFailure) -> None:
+        nonlocal retried
+        retried += 1
+        if on_retry is not None:
+            on_retry(failure)
+
+    def note_failure(failure: TaskFailure) -> None:
+        task = pending[failure.index]
+        failures.append(
+            ShardFailure(
+                index=task.index,
+                devices=task.device_names,
+                seed=task.seed,
+                attempts=failure.attempts,
+                kind=failure.kind,
+                error=failure.cause,
+            )
+        )
+        if on_failure is not None:
+            on_failure(failure)
+
+    def journal_shard(index: int, result: ShardResult) -> None:
+        assert journal is not None
+        journal.append(result)
+
+    def deliver(index: int, result: ShardResult) -> None:
+        if on_shard is not None:
+            on_shard(pending[index].index, result)
+
+    try:
+        fresh = fan_out(
+            _run_shard,
+            pending,
+            workers,
+            label=_shard_label,
+            chunk_size=chunk_size,
+            on_result=deliver,
+            on_complete=journal_shard if journal is not None else None,
+            on_retry=note_retry,
+            on_failure=note_failure,
+            retry=retry,
+            on_error=on_error,
+            chaos=chaos,
+            what="fleet shard",
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    completed = dict(journaled)
+    completed.update(
+        (task.index, result)
+        for task, result in zip(pending, fresh)
+        if result is not None
+    )
+    shards = [completed[index] for index in sorted(completed)]
+    return FleetResult(
+        spec=spec,
+        shards=shards,
+        workers=workers,
+        failures=failures,
+        retried_tasks=retried,
+    )

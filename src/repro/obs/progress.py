@@ -1,11 +1,13 @@
 """Progress reporting for long fan-outs (fleet shards, campaigns).
 
 :class:`ShardProgress` is shaped to plug straight into
-:func:`repro.parallel.fan_out`'s ``on_result`` hook: the parent process
-calls it in task order as each unit of work completes, and it writes a
-one-line heartbeat per completion — which shard finished, how many are
-done, elapsed wall time, and the unit's request count when it has one.
-A 1,000-device fleet run then shows steady forward motion instead of
+:func:`repro.parallel.fan_out`'s hooks: the parent process calls it in
+task order as each unit of work completes (``on_result``), and its
+:meth:`note_retry` / :meth:`note_failure` methods attach to the
+executor's ``on_retry`` / ``on_failure`` hooks so retried attempts and
+permanently failed shards show up in the heartbeat the moment they
+happen — a 1,000-device fleet run shows steady forward motion, and a
+degrading one shows exactly which shard is burning attempts, instead of
 minutes of silence.
 """
 
@@ -13,7 +15,10 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import IO
+from typing import IO, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel import TaskFailure
 
 __all__ = ["ShardProgress"]
 
@@ -33,10 +38,21 @@ class ShardProgress:
         self.stream = stream if stream is not None else sys.stderr
         self.what = what
         self.completed = 0
+        self.retried = 0
+        self.failed = 0
         self._started = time.monotonic()
 
     def elapsed_s(self) -> float:
         return time.monotonic() - self._started
+
+    def _counters(self) -> str:
+        """``", 2 retried, 1 failed"`` — empty while nothing went wrong."""
+        parts = []
+        if self.retried:
+            parts.append(f"{self.retried} retried")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        return (", " + ", ".join(parts)) if parts else ""
 
     def __call__(self, index: int, result: object) -> None:
         self.completed += 1
@@ -44,6 +60,26 @@ class ShardProgress:
         detail = f", {requests} requests" if requests is not None else ""
         self.stream.write(
             f"[{self.completed}/{self.total}] {self.what} {index} done"
-            f"{detail} ({self.elapsed_s():.1f}s elapsed)\n"
+            f"{detail} ({self.elapsed_s():.1f}s elapsed{self._counters()})\n"
+        )
+        self.stream.flush()
+
+    def note_retry(self, failure: "TaskFailure") -> None:
+        """``on_retry`` hook: one attempt failed and will be re-run."""
+        self.retried += 1
+        self.stream.write(
+            f"[retry] {failure.context}: attempt {failure.attempts} "
+            f"{failure.kind} ({failure.cause}); re-dispatching\n"
+        )
+        self.stream.flush()
+
+    def note_failure(self, failure: "TaskFailure") -> None:
+        """``on_failure`` hook: a task exhausted its attempts."""
+        self.completed += 1
+        self.failed += 1
+        self.stream.write(
+            f"[{self.completed}/{self.total}] {failure.context} FAILED "
+            f"after {failure.attempts} attempt(s): {failure.kind} "
+            f"({failure.cause})\n"
         )
         self.stream.flush()

@@ -1,37 +1,60 @@
-"""Generic process-pool fan-out shared by campaigns and the fleet runner.
+"""Resilient process fan-out shared by campaigns and the fleet runner.
 
 This module is the one place multiprocessing happens.  It grew out of the
-campaign runner's ``_fan_out`` helper (``sim/experiment.py``) and now
-serves both the paper-shaped experiment campaigns and the fleet shard
-runner (:mod:`repro.fleet`):
+campaign runner's ``_fan_out`` helper (``sim/experiment.py``), then out of
+the fail-fast ``imap`` loop that PR 6 shipped, and now serves both the
+paper-shaped experiment campaigns and the fleet shard runner
+(:mod:`repro.fleet`) with production-grade failure handling:
 
-* :func:`fan_out` — an order-preserving parallel map with **batched
-  result exchange** (``imap`` with a chunk size, so many small tasks do
-  not pay one IPC round-trip each), a streaming ``on_result`` hook for
-  progress reporting, and **contextful error propagation**: a worker
-  exception surfaces as :class:`WorkerTaskError` naming the failed task
-  (which shard, which seed) with the worker's traceback attached,
-  instead of a bare pool traceback.
+* :func:`fan_out` — an order-preserving parallel map built on a
+  **submission loop** over dedicated worker processes: per-task batches
+  are dispatched over pipes, results stream back one by one, and the
+  parent watches worker *sentinels* so a hard-killed worker (SIGKILL,
+  OOM) is detected and its task re-dispatched instead of hanging the
+  run forever.  A :class:`RetryPolicy` adds per-task timeouts with
+  straggler re-dispatch and bounded retries with deterministic seeded
+  backoff — a retry re-runs the *same* task (same item, same seed), so
+  a successful retry is digest-identical to a first-try success.  The
+  ``on_error`` policy decides what an exhausted task does: ``"raise"``
+  (fail the run, the historical behaviour), ``"skip"`` (drop it with a
+  warning) or ``"degrade"`` (record it and keep going); skipped and
+  degraded tasks surface as :class:`TaskFailure` records through the
+  ``on_failure`` hook and as ``None`` result slots.
 * :func:`spawn_seeds` — child seeds derived with
   :class:`numpy.random.SeedSequence` spawning, the statistically sound
   replacement for ad-hoc ``base_seed + i`` schemes: every child stream
   is independent no matter how close the parent seeds are.
 * :func:`resolve_workers` — the worker-count policy (``None`` = one per
-  task up to the CPU count; explicit values are clamped to the task
-  count, with a warning when they exceed it).
+  task up to the CPU count; explicit values are validated, then clamped
+  to the task count with a warning when they exceed it).
 
 Determinism contract: tasks must be self-contained (their own seeds, no
-shared state), so results are byte-identical at any worker count — the
-regression tests pin ``workers=1`` against ``workers=8`` digests.
+shared state), so results are byte-identical at any worker count, with
+any retry policy, and under any injected chaos that the retries absorb —
+the regression tests pin ``workers=1`` against ``workers=8`` digests and
+chaos runs against fault-free ones.
+
+Chaos injection (``chaos=``) accepts any object with an
+``apply(index, attempt)`` method — see
+:class:`repro.faults.chaos.ChaosPlan` — called on the *worker* before
+the task function, so injected hangs and hard exits exercise the real
+recovery paths.  Attaching chaos forces pool execution even for
+``workers=1`` (a hard exit must kill a child, not the caller).
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
+import multiprocessing.connection
 import os
+import random
+import time
 import traceback
 import warnings
-from typing import Callable, Sequence, TypeVar
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence, TypeVar
 
 import numpy as np
 
@@ -39,15 +62,29 @@ _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 __all__ = [
+    "ON_ERROR_POLICIES",
+    "RetryPolicy",
+    "TaskFailure",
     "WorkerTaskError",
     "fan_out",
     "resolve_workers",
     "spawn_seeds",
 ]
 
+ON_ERROR_POLICIES = ("raise", "skip", "degrade")
+"""What :func:`fan_out` does with a task whose attempts are exhausted:
+``raise`` fails the whole run (first exhausted task wins), ``skip`` drops
+the task with a :class:`RuntimeWarning`, ``degrade`` records it silently.
+Either way the failure reaches the ``on_failure`` hook and the task's
+result slot is ``None``."""
+
+_EXCEPTION = "exception"
+_TIMEOUT = "timeout"
+_WORKER_DEATH = "worker-death"
+
 
 class WorkerTaskError(RuntimeError):
-    """A task failed on a worker process.
+    """A task failed on a worker process (after any configured retries).
 
     Carries the task's context label (e.g. ``"fleet shard 3 (devices
     d0024..d0031, seed 1842516266)"``) and the worker-side traceback, so
@@ -55,17 +92,93 @@ class WorkerTaskError(RuntimeError):
     re-run serially rather than at an anonymous pool frame.
     """
 
-    def __init__(self, context: str, cause: str, worker_traceback: str):
+    def __init__(
+        self,
+        context: str,
+        cause: str,
+        worker_traceback: str,
+        attempts: int = 1,
+    ):
         super().__init__(f"{context}: {cause}")
         self.context = context
         self.cause = cause
         self.worker_traceback = worker_traceback
+        self.attempts = attempts
 
     def __str__(self) -> str:  # keep the worker's trace visible in logs
+        attempts = (
+            f" (after {self.attempts} attempts)" if self.attempts > 1 else ""
+        )
         return (
-            f"{self.context}: {self.cause}\n"
+            f"{self.context}: {self.cause}{attempts}\n"
             f"--- worker traceback ---\n{self.worker_traceback}"
         )
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task's permanent failure record (its attempts are exhausted).
+
+    ``kind`` is ``"exception"`` (the task function raised),
+    ``"timeout"`` (the per-task deadline expired and the straggling
+    worker was killed) or ``"worker-death"`` (the worker process died
+    hard — SIGKILL, OOM, ``os._exit``).  The same record, with the
+    attempt count of the *failed* attempt, is what the ``on_retry`` hook
+    receives for non-final failures.
+    """
+
+    index: int
+    context: str
+    attempts: int
+    kind: str
+    cause: str
+    worker_traceback: str = ""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries, per-task timeouts, deterministic seeded backoff.
+
+    ``max_attempts`` counts the first try: the default ``3`` means one
+    try plus two retries.  ``timeout_s`` (``None`` = wait forever) is the
+    per-attempt deadline measured in the parent; an expired attempt's
+    worker is killed and the task re-dispatched, which also bounds how
+    long a hung or silently dead worker can stall the run.  Backoff for
+    attempt ``k`` is ``backoff_s * 2**(k-1)`` capped at
+    ``backoff_cap_s``, jittered into ``[0.5x, 1.5x)`` by a RNG seeded
+    from ``(seed, task index, attempt)`` — deterministic per task, so
+    two runs of the same failing workload schedule identically.
+
+    Retries never change the task: the identical item (and therefore the
+    identical task seed) is re-sent, so a retried success is
+    bit-identical to a first-try success.
+    """
+
+    max_attempts: int = 3
+    timeout_s: float | None = None
+    backoff_s: float = 0.0
+    backoff_cap_s: float = 30.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be non-negative")
+        if self.backoff_cap_s < 0:
+            raise ValueError("backoff_cap_s must be non-negative")
+
+    def delay_s(self, index: int, attempt: int) -> float:
+        """Backoff before re-dispatching task ``index`` after ``attempt``."""
+        if self.backoff_s <= 0:
+            return 0.0
+        base = min(self.backoff_s * 2.0 ** (attempt - 1), self.backoff_cap_s)
+        jitter = random.Random(f"{self.seed}:{index}:{attempt}").random()
+        return base * (0.5 + jitter)
 
 
 def spawn_seeds(seed: int | np.random.SeedSequence, n: int) -> list[int]:
@@ -97,10 +210,13 @@ def resolve_workers(
     """Number of worker processes to use for ``tasks`` independent jobs.
 
     ``None`` means "use the machine": one worker per task up to the CPU
-    count.  Explicit values are clamped to the task count; asking for
-    more workers than there are tasks earns a warning (the extra
-    processes would only sit idle).
+    count.  Explicit values below 1 are rejected outright (before any
+    clamping, and regardless of the task count); values above the task
+    count are clamped with a warning (the extra processes would only sit
+    idle).
     """
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
     if tasks <= 0:
         return 0
     if workers is None:
@@ -112,30 +228,7 @@ def resolve_workers(
             RuntimeWarning,
             stacklevel=2,
         )
-    if workers < 1:
-        raise ValueError("workers must be positive")
     return min(workers, tasks)
-
-
-class _IndexedCall:
-    """Picklable wrapper running one ``(index, item)`` pair on a worker.
-
-    Returns ``(index, True, result)`` or ``(index, False, (repr, tb))``
-    — exceptions never cross the process boundary raw, so the parent can
-    re-raise them with task context attached.
-    """
-
-    __slots__ = ("fn",)
-
-    def __init__(self, fn: Callable[[_T], _R]) -> None:
-        self.fn = fn
-
-    def __call__(self, pair: tuple[int, _T]):
-        index, item = pair
-        try:
-            return index, True, self.fn(item)
-        except Exception as exc:  # noqa: BLE001 - reported to the parent
-            return index, False, (repr(exc), traceback.format_exc())
 
 
 def _default_chunk_size(tasks: int, workers: int) -> int:
@@ -143,9 +236,464 @@ def _default_chunk_size(tasks: int, workers: int) -> int:
 
     Four batches per worker balances exchange overhead against load
     skew: big enough to amortize pickling, small enough that one slow
-    task does not strand a whole batch behind it.
+    task does not strand a whole batch behind it.  Pass an explicit
+    ``chunk_size`` (e.g. 1) when early failure detection and smooth
+    progress matter more than exchange overhead.
     """
     return max(1, tasks // (workers * 4))
+
+
+def _worker_main(fn, chaos, conn) -> None:
+    """Worker loop: receive task batches, stream one result per task.
+
+    Each message from the parent is a list of ``(index, attempt, item)``
+    triples (or ``None`` to shut down); each reply is one
+    ``(index, attempt, ok, payload)`` tuple, sent as soon as that task
+    finishes so the parent sees per-task completions (and can time out
+    the *current* task) even inside a batch.  Exceptions never cross the
+    pipe raw — they are reduced to ``(repr, traceback)`` so the parent
+    re-raises them with task context attached.
+    """
+    try:
+        while True:
+            batch = conn.recv()
+            if batch is None:
+                return
+            for index, attempt, item in batch:
+                try:
+                    if chaos is not None:
+                        chaos.apply(index, attempt)
+                    result = fn(item)
+                except Exception as exc:  # noqa: BLE001 - shipped to parent
+                    conn.send(
+                        (
+                            index,
+                            attempt,
+                            False,
+                            (repr(exc), traceback.format_exc()),
+                        )
+                    )
+                else:
+                    conn.send((index, attempt, True, result))
+    except (EOFError, BrokenPipeError, KeyboardInterrupt):
+        return
+
+
+class _Worker:
+    """One managed worker process and its duplex pipe.
+
+    ``outstanding`` holds the ``(index, attempt)`` pairs dispatched but
+    not yet answered, in execution order — its head is the task the
+    worker is running *now*, which is what per-task timeouts and
+    worker-death attribution key off.  ``head_started`` is reset each
+    time a result arrives, so the deadline always covers the currently
+    running task, not the whole batch.
+    """
+
+    __slots__ = ("proc", "conn", "outstanding", "head_started")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+        self.outstanding: deque[tuple[int, int]] = deque()
+        self.head_started = time.monotonic()
+
+
+class _PoolRun:
+    """State machine for one resilient fan-out over a worker pool."""
+
+    def __init__(
+        self,
+        fn,
+        tasks,
+        workers,
+        *,
+        context,
+        chunk_size,
+        retry,
+        on_error,
+        chaos,
+        on_result,
+        on_complete,
+        on_retry,
+        on_failure,
+    ) -> None:
+        self.fn = fn
+        self.tasks = tasks
+        self.workers = workers
+        self.context = context
+        self.chunk_size = chunk_size
+        self.retry = retry
+        self.max_attempts = retry.max_attempts if retry else 1
+        self.timeout_s = retry.timeout_s if retry else None
+        self.on_error = on_error
+        self.chaos = chaos
+        self.on_result = on_result
+        self.on_complete = on_complete
+        self.on_retry = on_retry
+        self.on_failure = on_failure
+
+        methods = multiprocessing.get_all_start_methods()
+        self.ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        n = len(tasks)
+        self.slots: list[Any] = [None] * n
+        self.ok: list[bool] = [False] * n
+        self.resolved: list[bool] = [False] * n
+        self.pending: deque[tuple[int, int]] = deque(
+            (index, 1) for index in range(n)
+        )
+        self.delayed: list[tuple[float, int, int]] = []  # (at, index, attempt)
+        self.completed = 0
+        self.delivered = 0
+        self.pool: list[_Worker] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def run(self) -> list[Any]:
+        try:
+            self.pool = [self._spawn() for _ in range(self.workers)]
+            self._loop()
+        except BaseException:
+            self._shutdown(force=True)
+            raise
+        self._shutdown(force=False)
+        return self.slots
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self.ctx.Pipe()
+        proc = self.ctx.Process(
+            target=_worker_main,
+            args=(self.fn, self.chaos, child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return _Worker(proc, parent_conn)
+
+    def _shutdown(self, force: bool) -> None:
+        """Stop every worker; ``force`` skips the polite goodbye.
+
+        The forced path runs on any error — including
+        ``KeyboardInterrupt`` — so a cancelled run never leaves pool
+        children behind: terminate, then join, then SIGKILL stragglers.
+        """
+        for worker in self.pool:
+            if not force:
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+        for worker in self.pool:
+            if force:
+                worker.proc.terminate()
+            worker.proc.join(timeout=2.0)
+        for worker in self.pool:
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=2.0)
+        self.pool = []
+
+    # -- main loop -------------------------------------------------------
+
+    def _loop(self) -> None:
+        n = len(self.tasks)
+        while self.completed < n:
+            now = time.monotonic()
+            while self.delayed and self.delayed[0][0] <= now:
+                _, index, attempt = heapq.heappop(self.delayed)
+                self.pending.append((index, attempt))
+            while len(self.pool) < self.workers and (
+                self.pending or self.delayed
+            ):
+                self.pool.append(self._spawn())
+            self._dispatch()
+            self._wait()
+            self._check_timeouts()
+
+    def _dispatch(self) -> None:
+        for worker in self.pool:
+            if worker.outstanding or not self.pending:
+                continue
+            batch = []
+            while self.pending and len(batch) < self.chunk_size:
+                index, attempt = self.pending.popleft()
+                batch.append((index, attempt, self.tasks[index]))
+            try:
+                worker.conn.send(batch)
+            except (BrokenPipeError, OSError):
+                # Died before dispatch: requeue, let sentinel handling
+                # reap and replace it.
+                for index, attempt, _ in reversed(batch):
+                    self.pending.appendleft((index, attempt))
+                continue
+            worker.outstanding.extend(
+                (index, attempt) for index, attempt, _ in batch
+            )
+            worker.head_started = time.monotonic()
+
+    def _wait(self) -> None:
+        busy = [worker for worker in self.pool if worker.outstanding]
+        objects = [worker.conn for worker in busy]
+        objects += [worker.proc.sentinel for worker in self.pool]
+        timeout = self._wait_timeout()
+        if not objects:
+            if timeout is not None and timeout > 0:
+                time.sleep(timeout)
+            elif not self.pending and not self.delayed:
+                raise RuntimeError(
+                    "fan_out stalled: tasks unfinished but nothing running, "
+                    "queued, or scheduled for retry"
+                )
+            return
+        ready = set(
+            multiprocessing.connection.wait(objects, timeout=timeout)
+        )
+        for worker in list(self.pool):
+            if worker.conn in ready:
+                self._drain(worker)
+        for worker in list(self.pool):
+            if worker.proc.sentinel in ready and worker in self.pool:
+                self._reap_dead(worker)
+
+    def _wait_timeout(self) -> float | None:
+        now = time.monotonic()
+        candidates = []
+        if self.timeout_s is not None:
+            for worker in self.pool:
+                if worker.outstanding:
+                    candidates.append(
+                        worker.head_started + self.timeout_s - now
+                    )
+        if self.delayed:
+            candidates.append(self.delayed[0][0] - now)
+        if not candidates:
+            return None
+        return max(0.0, min(candidates))
+
+    # -- event handling --------------------------------------------------
+
+    def _drain(self, worker: _Worker) -> None:
+        """Consume every buffered result from one worker's pipe."""
+        try:
+            while worker.conn.poll():
+                index, attempt, ok, payload = worker.conn.recv()
+                try:
+                    worker.outstanding.remove((index, attempt))
+                except ValueError:
+                    continue  # stale duplicate (should not happen)
+                worker.head_started = time.monotonic()
+                if self.resolved[index]:
+                    continue
+                if ok:
+                    self._succeed(index, payload)
+                else:
+                    cause, worker_tb = payload
+                    self._attempt_failed(
+                        index, attempt, _EXCEPTION, cause, worker_tb
+                    )
+        except (EOFError, OSError):
+            return  # died mid-send; the sentinel path picks it up
+
+    def _reap_dead(self, worker: _Worker) -> None:
+        """A worker's sentinel fired: it exited without being asked.
+
+        Buffered results are still readable after death, so drain first;
+        whatever remains outstanding was lost with the process — its
+        head (the task that was running) is charged a failed attempt,
+        the not-yet-started tail is requeued for free.
+        """
+        self._drain(worker)
+        self.pool.remove(worker)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+        worker.proc.join(timeout=2.0)
+        exit_code = worker.proc.exitcode
+        if not worker.outstanding:
+            return
+        index, attempt = worker.outstanding.popleft()
+        for entry in reversed(worker.outstanding):
+            self.pending.appendleft(entry)
+        worker.outstanding.clear()
+        self._attempt_failed(
+            index,
+            attempt,
+            _WORKER_DEATH,
+            f"worker process died (exit code {exit_code})",
+            "",
+        )
+
+    def _check_timeouts(self) -> None:
+        if self.timeout_s is None:
+            return
+        now = time.monotonic()
+        for worker in list(self.pool):
+            if not worker.outstanding:
+                continue
+            if now - worker.head_started < self.timeout_s:
+                continue
+            self._drain(worker)  # a result may have raced the deadline
+            if (
+                not worker.outstanding
+                or now - worker.head_started < self.timeout_s
+            ):
+                continue
+            index, attempt = worker.outstanding.popleft()
+            for entry in reversed(worker.outstanding):
+                self.pending.appendleft(entry)
+            worker.outstanding.clear()
+            self.pool.remove(worker)
+            worker.proc.terminate()
+            worker.proc.join(timeout=2.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=2.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            self._attempt_failed(
+                index,
+                attempt,
+                _TIMEOUT,
+                f"timed out after {self.timeout_s:g}s "
+                "(straggler killed and re-dispatched)",
+                "",
+            )
+
+    # -- outcome bookkeeping ---------------------------------------------
+
+    def _succeed(self, index: int, result: Any) -> None:
+        self.slots[index] = result
+        self.ok[index] = True
+        self.resolved[index] = True
+        self.completed += 1
+        if self.on_complete is not None:
+            self.on_complete(index, result)
+        self._deliver()
+
+    def _attempt_failed(
+        self, index: int, attempt: int, kind: str, cause: str, worker_tb: str
+    ) -> None:
+        failure = TaskFailure(
+            index, self.context(index), attempt, kind, cause, worker_tb
+        )
+        if attempt < self.max_attempts:
+            if self.on_retry is not None:
+                self.on_retry(failure)
+            delay = self.retry.delay_s(index, attempt) if self.retry else 0.0
+            heapq.heappush(
+                self.delayed,
+                (time.monotonic() + delay, index, attempt + 1),
+            )
+            return
+        if self.on_error == "raise":
+            raise WorkerTaskError(
+                failure.context, cause, worker_tb, attempts=attempt
+            )
+        if self.on_error == "skip":
+            warnings.warn(
+                f"skipping {failure.context}: {cause} "
+                f"(after {attempt} attempt(s))",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+        if self.on_failure is not None:
+            self.on_failure(failure)
+        self.resolved[index] = True
+        self.completed += 1
+        self._deliver()
+
+    def _deliver(self) -> None:
+        """Advance the in-order delivery pointer over resolved slots."""
+        n = len(self.tasks)
+        while self.delivered < n and self.resolved[self.delivered]:
+            if self.ok[self.delivered] and self.on_result is not None:
+                self.on_result(self.delivered, self.slots[self.delivered])
+            self.delivered += 1
+
+
+def _fan_out_inline(
+    fn,
+    tasks,
+    *,
+    context,
+    retry,
+    on_error,
+    on_result,
+    on_complete,
+    on_retry,
+    on_failure,
+):
+    """Serial in-process fallback (no pool, no per-task timeouts)."""
+    max_attempts = retry.max_attempts if retry else 1
+    results: list[Any] = []
+    for index, item in enumerate(tasks):
+        attempt = 1
+        result: Any = None
+        succeeded = False
+        while True:
+            try:
+                result = fn(item)
+            except Exception as exc:
+                cause = repr(exc)
+                worker_tb = traceback.format_exc()
+                if attempt < max_attempts:
+                    if on_retry is not None:
+                        on_retry(
+                            TaskFailure(
+                                index,
+                                context(index),
+                                attempt,
+                                _EXCEPTION,
+                                cause,
+                                worker_tb,
+                            )
+                        )
+                    delay = retry.delay_s(index, attempt) if retry else 0.0
+                    if delay > 0:
+                        time.sleep(delay)
+                    attempt += 1
+                    continue
+                if on_error == "raise":
+                    raise WorkerTaskError(
+                        context(index), cause, worker_tb, attempts=attempt
+                    ) from exc
+                failure = TaskFailure(
+                    index, context(index), attempt, _EXCEPTION, cause, worker_tb
+                )
+                if on_error == "skip":
+                    warnings.warn(
+                        f"skipping {failure.context}: {cause} "
+                        f"(after {attempt} attempt(s))",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                if on_failure is not None:
+                    on_failure(failure)
+                break
+            else:
+                succeeded = True
+                break
+        if succeeded:
+            if on_complete is not None:
+                on_complete(index, result)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        else:
+            results.append(None)
+    return results
 
 
 def fan_out(
@@ -156,6 +704,12 @@ def fan_out(
     label: Callable[[int, _T], str] | None = None,
     chunk_size: int | None = None,
     on_result: Callable[[int, _R], None] | None = None,
+    on_complete: Callable[[int, _R], None] | None = None,
+    on_retry: Callable[[TaskFailure], None] | None = None,
+    on_failure: Callable[[TaskFailure], None] | None = None,
+    retry: RetryPolicy | None = None,
+    on_error: str = "raise",
+    chaos: Any | None = None,
     what: str = "task",
 ) -> list[_R]:
     """Map ``fn`` over ``items`` on worker processes, order-preserving.
@@ -163,14 +717,35 @@ def fan_out(
     Falls back to an in-process loop for a single worker (or item), so
     serial runs never pay multiprocessing overhead and results are
     byte-identical either way: every item must be an independent,
-    self-seeded unit of work.
+    self-seeded unit of work.  Two things force pool execution even at
+    ``workers=1``: a ``retry`` policy with a timeout (a hung task can
+    only be preempted from outside the process) and ``chaos`` (an
+    injected hard exit must kill a child, not the caller).
 
     ``label`` produces the context string attached to a failure (it
-    receives the item's index and the item itself); ``on_result`` is
-    called in the parent, in task order, as each result arrives — the
-    progress hook for long fleet runs.  ``chunk_size`` controls the
-    batched result exchange (default: ~4 batches per worker).
+    receives the item's index and the item itself).  ``chunk_size``
+    controls how many tasks ride one dispatch message (default: ~4
+    batches per worker); results still stream back one by one.
+
+    Hooks, all called in the parent: ``on_result(index, result)`` in
+    task order for successes (the progress hook for long fleet runs);
+    ``on_complete(index, result)`` immediately in *completion* order
+    (the journaling hook — a checkpoint must not wait for in-order
+    delivery behind a straggler); ``on_retry(failure)`` when an attempt
+    fails but will be retried; ``on_failure(failure)`` when a task's
+    attempts are exhausted under ``on_error="skip"``/``"degrade"``.
+
+    Failure semantics are set by ``retry`` (attempts, per-task timeout,
+    seeded backoff — see :class:`RetryPolicy`) and ``on_error`` (see
+    :data:`ON_ERROR_POLICIES`).  With the defaults — no retries,
+    ``on_error="raise"`` — behaviour matches the historical fail-fast
+    executor, except that a hard-killed worker is now detected and
+    reported instead of hanging the run.
     """
+    if on_error not in ON_ERROR_POLICIES:
+        raise ValueError(
+            f"on_error must be one of {ON_ERROR_POLICIES}, got {on_error!r}"
+        )
     tasks = list(items)
     workers = resolve_workers(workers, len(tasks), what=what)
 
@@ -179,36 +754,39 @@ def fan_out(
             return label(index, tasks[index])
         return f"{what} {index}"
 
-    if workers <= 1 or len(tasks) <= 1:
-        results: list[_R] = []
-        for index, item in enumerate(tasks):
-            try:
-                result = fn(item)
-            except Exception as exc:
-                raise WorkerTaskError(
-                    context(index), repr(exc), traceback.format_exc()
-                ) from exc
-            if on_result is not None:
-                on_result(index, result)
-            results.append(result)
-        return results
-
-    methods = multiprocessing.get_all_start_methods()
-    mp_context = multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
+    if not tasks:
+        return []
+    needs_pool = chaos is not None or (
+        retry is not None and retry.timeout_s is not None
     )
+    if (workers <= 1 or len(tasks) <= 1) and not needs_pool:
+        return _fan_out_inline(
+            fn,
+            tasks,
+            context=context,
+            retry=retry,
+            on_error=on_error,
+            on_result=on_result,
+            on_complete=on_complete,
+            on_retry=on_retry,
+            on_failure=on_failure,
+        )
     if chunk_size is None:
         chunk_size = _default_chunk_size(len(tasks), workers)
-    results = []
-    with mp_context.Pool(processes=workers) as pool:
-        for index, ok, payload in pool.imap(
-            _IndexedCall(fn), list(enumerate(tasks)), chunksize=chunk_size
-        ):
-            if not ok:
-                cause, worker_tb = payload
-                pool.terminate()
-                raise WorkerTaskError(context(index), cause, worker_tb)
-            if on_result is not None:
-                on_result(index, payload)
-            results.append(payload)
-    return results
+    elif chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    run = _PoolRun(
+        fn,
+        tasks,
+        max(workers, 1),
+        context=context,
+        chunk_size=chunk_size,
+        retry=retry,
+        on_error=on_error,
+        chaos=chaos,
+        on_result=on_result,
+        on_complete=on_complete,
+        on_retry=on_retry,
+        on_failure=on_failure,
+    )
+    return run.run()

@@ -194,6 +194,18 @@ def render_sweep(
     return "\n".join(lines)
 
 
+def coverage_note(covered: int, total: int, what: str = "shard") -> str:
+    """Annotation for statistics computed over a partial population.
+
+    Degraded fleet runs tag their percentile lines with this so a
+    partial p99 is never mistaken for the fleet-wide one, e.g.
+    ``[degraded: covers 14/16 shards]``.  Empty when coverage is total.
+    """
+    if covered >= total:
+        return ""
+    return f"[degraded: covers {covered}/{total} {what}s]"
+
+
 def render_day(metrics: DayMetrics, disk_name: str = "") -> str:
     """One-line daily summary, for campaign progress output.
 

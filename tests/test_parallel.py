@@ -1,9 +1,14 @@
 """The generic process-pool executor (repro.parallel)."""
 
+import multiprocessing
+import time
+
 import pytest
 
 from repro.bench.digest import canonical_json, metrics_digest
+from repro.faults import ChaosPlan
 from repro.parallel import (
+    RetryPolicy,
     WorkerTaskError,
     fan_out,
     resolve_workers,
@@ -69,6 +74,49 @@ class TestResolveWorkers:
     def test_zero_tasks(self):
         assert resolve_workers(4, tasks=0) == 0
 
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_rejects_below_one_naming_the_parameter(self, bad):
+        with pytest.raises(ValueError, match=f"workers must be >= 1, got {bad}"):
+            resolve_workers(bad, tasks=5)
+
+    def test_rejection_precedes_clamp_and_zero_task_paths(self):
+        """Satellite: bad values are rejected before the clamp warning
+        fires and before the zero-task shortcut can swallow them."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the clamp path must not warn
+            with pytest.raises(ValueError, match="workers must be >= 1"):
+                resolve_workers(0, tasks=3)
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            resolve_workers(-2, tasks=0)  # would return 0 if checked late
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="timeout_s"):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError, match="backoff_s"):
+            RetryPolicy(backoff_s=-1.0)
+
+    def test_delay_deterministic_and_jittered(self):
+        policy = RetryPolicy(backoff_s=2.0, seed=7)
+        first = policy.delay_s(3, 1)
+        assert first == policy.delay_s(3, 1)  # pure function
+        assert 1.0 <= first < 3.0  # 2.0 jittered into [0.5x, 1.5x)
+        assert policy.delay_s(3, 1) != policy.delay_s(4, 1)
+
+    def test_delay_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_s=4.0, backoff_cap_s=6.0, seed=0)
+        # attempt 2 doubles 4.0 to 8.0, then the cap clamps it to 6.0
+        assert policy.delay_s(0, 2) <= 6.0 * 1.5
+        assert policy.delay_s(0, 2) >= 6.0 * 0.5
+
+    def test_no_backoff_means_zero_delay(self):
+        assert RetryPolicy().delay_s(0, 1) == 0.0
+
 
 class TestFanOut:
     def test_serial_and_parallel_agree(self):
@@ -117,6 +165,209 @@ class TestFanOut:
 
     def test_empty_items(self):
         assert fan_out(_square, [], workers=4) == []
+
+    def test_explicit_chunk_size_below_one_rejected(self):
+        with pytest.raises(ValueError, match="chunk_size must be >= 1"):
+            fan_out(_square, [1, 2, 3], workers=2, chunk_size=0)
+
+
+def _fail_once_then_square(marker_and_x):
+    """Fails the first time each marker is seen; retries then succeed.
+
+    The marker file persists across worker processes, so this models a
+    transient fault that a re-dispatch (any worker, any process) clears.
+    """
+    import os
+
+    marker, x = marker_and_x
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("seen")
+        raise RuntimeError(f"transient failure for {x}")
+    return x * x
+
+
+class TestFanOutResilience:
+    """Retries, timeouts, worker death, and error policies."""
+
+    def test_inline_retries_recover_transient_failures(self, tmp_path):
+        items = [(str(tmp_path / f"marker{x}"), x) for x in (1, 2, 3)]
+        retried = []
+        out = fan_out(
+            _fail_once_then_square,
+            items,
+            workers=1,
+            retry=RetryPolicy(max_attempts=2),
+            on_retry=retried.append,
+        )
+        assert out == [1, 4, 9]
+        assert [f.index for f in retried] == [0, 1, 2]
+        assert all(f.kind == "exception" for f in retried)
+
+    def test_pool_retries_recover_chaos_exceptions(self):
+        chaos = ChaosPlan(seed=3, exception_rate=1.0, attempts=1)
+        retried = []
+        out = fan_out(
+            _square,
+            [1, 2, 3, 4],
+            workers=2,
+            chunk_size=1,
+            chaos=chaos,
+            retry=RetryPolicy(max_attempts=2),
+            on_retry=retried.append,
+        )
+        assert out == [1, 4, 9, 16]
+        assert len(retried) == 4  # every task's first attempt was chaosed
+
+    def test_worker_death_detected_and_redispatched(self):
+        """A hard os._exit on attempt 1 is detected via the process
+        sentinel (no hang) and the task re-dispatched successfully."""
+        chaos = ChaosPlan(seed=3, exit_rate=1.0, attempts=1, tasks=(1,))
+        retried = []
+        out = fan_out(
+            _square,
+            [1, 2, 3],
+            workers=2,
+            chunk_size=1,
+            chaos=chaos,
+            retry=RetryPolicy(max_attempts=2),
+            on_retry=retried.append,
+        )
+        assert out == [1, 4, 9]
+        assert [f.kind for f in retried] == ["worker-death"]
+        assert "exit code" in retried[0].cause
+
+    def test_timeout_kills_straggler_and_redispatches(self):
+        chaos = ChaosPlan(
+            seed=5, hang_rate=1.0, hang_s=60.0, attempts=1, tasks=(0,)
+        )
+        retried = []
+        start = time.monotonic()
+        out = fan_out(
+            _square,
+            [1, 2, 3],
+            workers=2,
+            chunk_size=1,
+            chaos=chaos,
+            retry=RetryPolicy(max_attempts=2, timeout_s=0.5),
+            on_retry=retried.append,
+        )
+        assert time.monotonic() - start < 30.0  # nowhere near the 60s hang
+        assert out == [1, 4, 9]
+        assert [f.kind for f in retried] == ["timeout"]
+
+    def test_exhausted_attempts_raise_with_count(self):
+        chaos = ChaosPlan(seed=3, exception_rate=1.0, attempts=99, tasks=(1,))
+        with pytest.raises(WorkerTaskError) as excinfo:
+            fan_out(
+                _square,
+                [1, 2, 3],
+                workers=2,
+                chunk_size=1,
+                chaos=chaos,
+                retry=RetryPolicy(max_attempts=2),
+            )
+        assert excinfo.value.attempts == 2
+        assert "after 2 attempts" in str(excinfo.value)
+
+    @pytest.mark.parametrize("policy", ["skip", "degrade"])
+    def test_skip_and_degrade_leave_none_slots(self, policy):
+        chaos = ChaosPlan(seed=3, exception_rate=1.0, attempts=99, tasks=(1,))
+        failures = []
+
+        def run():
+            return fan_out(
+                _square,
+                [1, 2, 3],
+                workers=2,
+                chunk_size=1,
+                chaos=chaos,
+                retry=RetryPolicy(max_attempts=2),
+                on_error=policy,
+                on_failure=failures.append,
+            )
+
+        if policy == "skip":
+            with pytest.warns(RuntimeWarning, match="skipping task 1"):
+                out = run()
+        else:
+            out = run()  # degrade records silently
+        assert out == [1, None, 9]
+        assert len(failures) == 1
+        assert failures[0].index == 1
+        assert failures[0].attempts == 2
+        assert failures[0].kind == "exception"
+
+    def test_on_error_validated(self):
+        with pytest.raises(ValueError, match="on_error must be one of"):
+            fan_out(_square, [1], workers=1, on_error="explode")
+
+    def test_on_result_stays_ordered_on_complete_does_not_wait(self):
+        """on_result is the in-order hook; on_complete fires per
+        completion (the journaling hook) and sees every success too."""
+        ordered = []
+        completed = []
+        fan_out(
+            _square,
+            list(range(8)),
+            workers=3,
+            chunk_size=1,
+            on_result=lambda i, r: ordered.append(i),
+            on_complete=lambda i, r: completed.append(i),
+        )
+        assert ordered == list(range(8))
+        assert sorted(completed) == list(range(8))
+
+    def test_keyboard_interrupt_leaves_no_children(self):
+        """Satellite: a cancelled pool run terminates its workers."""
+
+        def interrupt(index, result):
+            raise KeyboardInterrupt
+
+        before = len(multiprocessing.active_children())
+        with pytest.raises(KeyboardInterrupt):
+            fan_out(
+                _square,
+                list(range(6)),
+                workers=2,
+                chunk_size=1,
+                on_result=interrupt,
+            )
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            if len(multiprocessing.active_children()) <= before:
+                break
+            time.sleep(0.05)
+        assert len(multiprocessing.active_children()) <= before
+
+    def test_chaos_forces_pool_even_serially(self):
+        """workers=1 with chaos must not run chaos in the caller — an
+        injected hard exit would kill the test process itself."""
+        chaos = ChaosPlan(seed=3, exit_rate=1.0, attempts=1, tasks=(0,))
+        out = fan_out(
+            _square,
+            [5],
+            workers=1,
+            chaos=chaos,
+            retry=RetryPolicy(max_attempts=2),
+        )
+        assert out == [25]
+
+    def test_retried_run_is_digest_identical(self):
+        """The determinism contract under faults: chaos absorbed by
+        retries yields byte-identical output to a clean serial run."""
+        items = list(range(12))
+        clean = fan_out(_square, items, workers=1)
+        chaos = ChaosPlan(seed=11, exception_rate=0.5, attempts=1)
+        chaotic = fan_out(
+            _square,
+            items,
+            workers=3,
+            chunk_size=1,
+            chaos=chaos,
+            retry=RetryPolicy(max_attempts=3),
+        )
+        assert canonical_json(clean) == canonical_json(chaotic)
 
 
 def _campaign_digest(results) -> str:
