@@ -96,6 +96,13 @@ from .faults import (
     parse_fault_spec,
 )
 from .fs import BufferCache, FileSystem
+from .policy import (
+    NightlyPolicy,
+    NoRearrangement,
+    OnlinePolicy,
+    RearrangementPolicy,
+    resolve_policy,
+)
 from .sim import (
     CampaignResult,
     Experiment,
@@ -140,9 +147,13 @@ __all__ = [
     "HotBlockList",
     "InterleavedPlacement",
     "IoctlInterface",
+    "NightlyPolicy",
+    "NoRearrangement",
     "Op",
+    "OnlinePolicy",
     "OrganPipePlacement",
     "RearrangementController",
+    "RearrangementPolicy",
     "ReferenceStreamAnalyzer",
     "SYSTEM_FS_PROFILE",
     "ScanQueue",
@@ -157,6 +168,7 @@ __all__ = [
     "make_policy",
     "make_queue",
     "parse_fault_spec",
+    "resolve_policy",
     "run_block_count_sweep",
     "run_campaign",
     "run_onoff_campaign",

@@ -4,7 +4,7 @@ Scripts and notebooks should import from here::
 
     from repro.api import simulate_day, run_campaign, run_bench
 
-    day = simulate_day(hours=0.25, rearranged=True)
+    day = simulate_day(hours=0.25, policy="nightly")
     print(day.metrics.all.mean_seek_time_ms)
 
 Deep imports (``repro.sim.experiment`` and friends) keep working, but
@@ -22,14 +22,22 @@ Every function returns the library's typed result objects —
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence
 
 from pathlib import Path
 
+from ._compat import warn_deprecated
 from .bench import BenchReport, get_scenarios, run_suite
 from .fleet import FleetResult, FleetSpec
 from .fleet import run_fleet as _run_fleet
 from .obs.tracer import NULL_TRACER, Tracer
+from .policy import (
+    NightlyPolicy,
+    NoRearrangement,
+    OnlinePolicy,
+    RearrangementPolicy,
+)
 from .sim.experiment import (
     CampaignResult,
     DayResult,
@@ -50,6 +58,10 @@ __all__ = [
     "ExperimentConfig",
     "FleetResult",
     "FleetSpec",
+    "NightlyPolicy",
+    "NoRearrangement",
+    "OnlinePolicy",
+    "RearrangementPolicy",
     "TraceReplayResult",
     "make_config",
     "replay_trace",
@@ -58,6 +70,10 @@ __all__ = [
     "run_fleet",
     "simulate_day",
 ]
+
+_UNSET = object()
+"""Sentinel distinguishing "not passed" from an explicit ``False`` for
+the deprecated ``simulate_day(rearranged=...)`` keyword."""
 
 
 def make_config(
@@ -95,7 +111,8 @@ def make_config(
 def simulate_day(
     config: ExperimentConfig | None = None,
     *,
-    rearranged: bool = False,
+    policy: RearrangementPolicy | str | None = None,
+    rearranged: bool = _UNSET,  # type: ignore[assignment]
     profile: str | WorkloadProfile = "system",
     disk: str = "toshiba",
     hours: float | None = None,
@@ -104,15 +121,43 @@ def simulate_day(
 ) -> DayResult:
     """Simulate one measurement day and return its :class:`DayResult`.
 
-    With ``rearranged=True`` a training (off) day runs first — the paper
-    needs one day of reference counts before blocks can move — and the
-    second, rearranged day is returned.  Pass a ``config`` for full
-    control, or the ``profile``/``disk``/``hours``/``seed`` shorthand.
+    ``policy`` selects *when* blocks move (``repro.policy``):
+
+    * ``None`` (default) — a plain monitoring day; nothing moves.
+    * ``"nightly"`` / :class:`NightlyPolicy` — a training (off) day runs
+      first — the paper needs one day of reference counts before blocks
+      can move — and the second, rearranged day is returned.
+    * ``"online"`` / :class:`OnlinePolicy` — one day with incremental
+      migration during detected idle windows (no training day needed:
+      the analyzer's live counts drive the moves).
+    * ``"off"`` / :class:`NoRearrangement` — one day, monitoring only.
+
+    Pass a ``config`` for full control, or the ``profile``/``disk``/
+    ``hours``/``seed`` shorthand.  ``rearranged=True`` is the deprecated
+    spelling of ``policy="nightly"`` (one release of
+    :class:`DeprecationWarning`, then removal).
     """
+    if rearranged is not _UNSET:
+        if policy is not None:
+            raise TypeError(
+                "simulate_day() got both policy= and the deprecated "
+                "rearranged=; pass only policy="
+            )
+        warn_deprecated(
+            "simulate_day(rearranged=...)", 'simulate_day(policy="nightly")'
+        )
+        policy = "nightly" if rearranged else None
     if config is None:
         config = make_config(profile, disk, hours=hours, seed=seed)
+    if policy is not None:
+        config = replace(config, policy=policy)
+    resolved = config.resolved_policy()
     experiment = Experiment(config, tracer=tracer)
-    if rearranged:
+    if isinstance(resolved, OnlinePolicy):
+        return experiment.run_day(rearranged=True, rearrange_tomorrow=False)
+    if isinstance(resolved, NightlyPolicy) and (
+        policy is not None or config.policy is not None
+    ):
         experiment.run_day(rearranged=False, rearrange_tomorrow=True)
         return experiment.run_day(rearranged=True, rearrange_tomorrow=False)
     return experiment.run_day(rearranged=False, rearrange_tomorrow=False)

@@ -50,6 +50,18 @@ Three scenarios cover the simulator's hot paths from three angles:
     layer's core guarantee (``docs/resilience.md``) is re-proven on
     every bench run — and times the fault-handling path.
 
+``online_day``
+    Online incremental rearrangement under live traffic
+    (``docs/online.md``): the same two days run once under
+    :class:`~repro.policy.OnlinePolicy` (idle-window migration on) and
+    once under :class:`~repro.policy.NoRearrangement` (migration off).
+    The scenario *asserts* the online run's contract — foreground
+    p95/p99 service time stays within 1.25x (+2 ms histogram-resolution
+    slack) of the migration-free run, blocks actually moved, and the
+    online run's day-1 mean seek time improves on its day 0 — so the
+    "low-priority migration must not hurt the foreground tail" guarantee
+    is re-proven on every bench run.
+
 Every scenario is deterministic: fixed seeds, fixed day lengths per mode.
 ``quick`` mode shrinks the simulated day so CI can afford the suite; the
 digests of quick and full runs differ (different workloads) but each is
@@ -58,7 +70,7 @@ reproducible on any machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
 from ..faults.spec import parse_fault_spec
@@ -328,6 +340,105 @@ def _fleet_chaos(quick: bool) -> ScenarioResult:
     )
 
 
+ONLINE_TAIL_FACTOR = 1.25
+"""Foreground p95/p99 under online migration must stay within this
+factor of the migration-free run (plus histogram-resolution slack)."""
+
+ONLINE_TAIL_SLACK_MS = 2.0
+"""Absolute slack on the tail bound: service-time percentiles are read
+from 1 ms-resolution histograms, so tiny tails need a floor."""
+
+
+def _online_day(quick: bool) -> ScenarioResult:
+    from ..policy import NoRearrangement, OnlinePolicy
+
+    hours = 0.5 if quick else 15.0
+    schedule = [False, True]
+    base = _config("toshiba", hours)
+    runs: dict[str, list] = {}
+    day_results: dict[str, list] = {}
+    online_stats = None
+    events = 0
+    requests = 0
+    for key, policy in (
+        ("online", OnlinePolicy()),
+        ("off", NoRearrangement()),
+    ):
+        experiment = Experiment(replace(base, policy=policy))
+        days: list[dict[str, Any]] = []
+        results = []
+        for day, on_today in enumerate(schedule):
+            on_tomorrow = (
+                schedule[day + 1] if day + 1 < len(schedule) else False
+            )
+            result = experiment.run_day(
+                rearranged=on_today, rearrange_tomorrow=on_tomorrow
+            )
+            requests += result.workload_requests
+            results.append(result)
+            days.append(
+                {
+                    "metrics": day_metrics_payload(result.metrics),
+                    "workload_requests": result.workload_requests,
+                    "rearranged_blocks": result.rearranged_blocks,
+                }
+            )
+        events += experiment.events_dispatched
+        runs[key] = days
+        day_results[key] = results
+        if key == "online":
+            assert experiment.controller.online_stats is not None
+            online_stats = experiment.controller.online_stats
+    assert online_stats is not None
+    tails: dict[str, float] = {}
+    for day in range(len(schedule)):
+        for quantile in (0.95, 0.99):
+            on = day_results["online"][day].metrics.all.service_percentile_ms(
+                quantile
+            )
+            off = day_results["off"][day].metrics.all.service_percentile_ms(
+                quantile
+            )
+            tails[f"day{day}_p{int(quantile * 100)}_online"] = on
+            tails[f"day{day}_p{int(quantile * 100)}_off"] = off
+            bound = ONLINE_TAIL_FACTOR * off + ONLINE_TAIL_SLACK_MS
+            if on > bound:
+                raise RuntimeError(
+                    f"online migration hurt the foreground tail: day "
+                    f"{day} p{int(quantile * 100)} {on:.2f} ms exceeds "
+                    f"{bound:.2f} ms ({ONLINE_TAIL_FACTOR}x the "
+                    f"migration-free {off:.2f} ms + "
+                    f"{ONLINE_TAIL_SLACK_MS} ms)"
+                )
+    if online_stats.moves_completed == 0:
+        raise RuntimeError("online policy committed no incremental moves")
+    seek_day0 = day_results["online"][0].metrics.all.mean_seek_time_ms
+    seek_day1 = day_results["online"][1].metrics.all.mean_seek_time_ms
+    if seek_day1 >= seek_day0:
+        raise RuntimeError(
+            "online migration did not improve mean seek time: "
+            f"day 1 {seek_day1:.3f} ms vs day 0 {seek_day0:.3f} ms"
+        )
+    return ScenarioResult(
+        payload={
+            "online": runs["online"],
+            "off": runs["off"],
+            "migration": online_stats.payload(),
+        },
+        events=events,
+        requests=requests,
+        detail={
+            "disk": "toshiba",
+            "hours": hours,
+            "days": 2,
+            "moves_completed": online_stats.moves_completed,
+            "seek_day0_ms": seek_day0,
+            "seek_day1_ms": seek_day1,
+            **tails,
+        },
+    )
+
+
 def _trace_replay(quick: bool) -> ScenarioResult:
     from ..traces import fixture_path, ingest_trace, replay_jobs
 
@@ -417,6 +528,12 @@ SCENARIOS: dict[str, Scenario] = {
             "fleet day under injected worker faults; digest must match "
             "the clean run",
             _fleet_chaos,
+        ),
+        Scenario(
+            "online_day",
+            "idle-window incremental migration vs migration off; "
+            "asserts the foreground-tail and seek-improvement contract",
+            _online_day,
         ),
     )
 }

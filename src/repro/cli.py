@@ -18,7 +18,9 @@ consumes — the full real-trace pipeline needs no Python at all.  See
 ``docs/traces.md`` for formats, mapping strategies and rescaling.
 
 All commands accept ``--hours`` to shorten the measurement day (the paper
-used 15-hour days) and ``--seed`` for reproducibility.  ``onoff`` and
+used 15-hour days) and ``--seed`` for reproducibility.  The experiment
+and ``fleet`` commands accept ``--policy nightly|online|off`` (plus
+``--idle-ms`` for online migration; see ``docs/online.md``).  ``onoff`` and
 ``replay`` accept ``--trace FILE`` to record every request-lifecycle
 event as JSONL; the ``trace`` subcommand reduces such a file back to
 per-device day metrics.  ``policies`` and ``sweep`` accept ``--workers``
@@ -82,6 +84,37 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "'seed=7,transient=0.001,retries=3,crash=copy100,crash=day1@2h' "
         "(grammar in docs/faults.md)",
     )
+    _add_policy(parser)
+
+
+def _add_policy(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--policy", choices=("nightly", "online", "off"), default=None,
+        help="when rearrangement runs: the nightly batch cycle (default), "
+        "online incremental migration during idle windows "
+        "(docs/online.md), or never",
+    )
+    parser.add_argument(
+        "--idle-ms", type=float, default=None, metavar="MS",
+        help="idle-gap length that opens a migration window "
+        "(--policy online only; default 250)",
+    )
+
+
+def _policy_of(args):
+    """Resolve --policy/--idle-ms into what ExperimentConfig expects."""
+    policy = getattr(args, "policy", None)
+    idle_ms = getattr(args, "idle_ms", None)
+    if idle_ms is not None and policy != "online":
+        raise SystemExit("--idle-ms only applies with --policy online")
+    if policy == "online" and idle_ms is not None:
+        from .policy import OnlinePolicy
+
+        try:
+            return OnlinePolicy(idle_ms=idle_ms)
+        except ValueError as exc:
+            raise SystemExit(f"bad --idle-ms: {exc}")
+    return policy
 
 
 def _config(args) -> ExperimentConfig:
@@ -100,6 +133,7 @@ def _config(args) -> ExperimentConfig:
         seed=args.seed,
         faults=faults,
         counter=getattr(args, "counter", "exact"),
+        policy=_policy_of(args),
     )
 
 
@@ -341,6 +375,7 @@ def cmd_fleet(args) -> int:
             num_blocks=args.blocks,
             counter=args.counter,
             seed=args.seed,
+            policy=_policy_of(args),
             tenancy=TenancySpec(
                 tenants=args.tenants,
                 tenant_skew=args.tenant_skew,
@@ -653,6 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="analyzer counter strategy (bounded sketch by default)",
     )
     fleet.add_argument("--seed", type=int, default=1993)
+    _add_policy(fleet)
     fleet.add_argument(
         "--chunk-size", type=int, default=None, metavar="N",
         help="shards per dispatch batch (default: tasks/(workers*4); "

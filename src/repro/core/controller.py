@@ -20,10 +20,13 @@ from ..driver.ioctl import IoctlInterface
 from ..faults.injector import SimulatedCrash
 from ..faults.plan import DEGRADE_ACTIONS
 from ..obs.tracer import NULL_TRACER, Tracer
+from ..policy import NightlyPolicy, OnlinePolicy, RearrangementPolicy
 from .analyzer import ReferenceStreamAnalyzer
 
 if TYPE_CHECKING:  # avoid a circular import with repro.sim
     from ..sim.engine import Simulation
+
+    from .online import MigrationStats, OnlineRearranger
 from .arranger import BlockArranger, RearrangementPlan
 from .hotlist import HotBlockList
 
@@ -40,6 +43,13 @@ class RearrangementController:
         default_factory=ReferenceStreamAnalyzer
     )
     arranger: BlockArranger | None = None
+    policy: RearrangementPolicy = field(default_factory=NightlyPolicy)
+    """*When* rearrangement happens (``repro.policy``).  The default
+    :class:`~repro.policy.NightlyPolicy` is the paper's end-of-day batch
+    cycle; :class:`~repro.policy.OnlinePolicy` migrates incrementally
+    during idle windows instead (:mod:`repro.core.online`), and
+    :class:`~repro.policy.NoRearrangement` only monitors.  The health
+    monitor (:attr:`max_error_rate`) applies to the nightly cycle."""
     poll_interval_ms: float = MONITOR_POLL_INTERVAL_MS
     last_plan: RearrangementPlan | None = None
     tracer: Tracer = NULL_TRACER
@@ -62,9 +72,20 @@ class RearrangementController:
     crash_recoveries: int = 0
     """Mid-rearrangement crashes survived via the recovery protocol."""
 
+    online_stats: MigrationStats | None = None
+    """Cumulative online-migration counters; created on first attach
+    under an :class:`~repro.policy.OnlinePolicy` and carried across days."""
+
+    _online: OnlineRearranger | None = field(default=None, repr=False)
+    """This day's online rearranger (rebuilt per simulation day)."""
+
     def __post_init__(self) -> None:
         if self.arranger is None:
             self.arranger = BlockArranger(self.ioctl)
+        if not isinstance(self.policy, RearrangementPolicy):
+            from ..policy import resolve_policy
+
+            self.policy = resolve_policy(self.policy)
         if self.degrade_action not in DEGRADE_ACTIONS:
             raise ValueError(
                 f"degrade_action must be one of {DEGRADE_ACTIONS}, "
@@ -76,7 +97,13 @@ class RearrangementController:
     # ------------------------------------------------------------------
 
     def attach_to(self, simulation: Simulation) -> None:
-        """Register the analyzer's periodic request-table poll."""
+        """Register the analyzer's periodic request-table poll.
+
+        Under an :class:`~repro.policy.OnlinePolicy` this also wires up
+        the day's incremental rearranger: the idle detector's bus
+        subscriptions and the engine's migration sink are bound to this
+        simulation, with the migration counters persisting across days.
+        """
         if self.tracer is NULL_TRACER:
             self.tracer = simulation.tracer
         simulation.add_periodic(
@@ -84,9 +111,26 @@ class RearrangementController:
             lambda now_ms: self.analyzer.poll(self.ioctl),
             name="reference-stream-analyzer",
         )
+        if isinstance(self.policy, OnlinePolicy):
+            from .online import MigrationStats, OnlineRearranger
+
+            if self.online_stats is None:
+                self.online_stats = MigrationStats()
+            self._online = OnlineRearranger(
+                ioctl=self.ioctl,
+                analyzer=self.analyzer,
+                policy=self.policy,
+                stats=self.online_stats,
+                tracer=self.tracer,
+            )
+            self._online.attach_to(simulation)
 
     def final_poll(self) -> None:
-        """Drain whatever is left in the request table at day end."""
+        """Drain whatever is left at day end: any in-flight incremental
+        plan is cancelled cleanly first (the nightly cycle no longer owns
+        teardown), then the request table is read a last time."""
+        if self._online is not None:
+            self._online.drain()
         self.analyzer.poll(self.ioctl)
 
     def hot_list(self, limit: int | None = None) -> HotBlockList:
@@ -118,7 +162,16 @@ class RearrangementController:
         driver's recovery protocol (block table re-read from the reserved
         area, every surviving entry conservatively dirty); the remaining
         moves of the night are abandoned.
+
+        Non-nightly policies never run the batch cycle: an
+        :class:`~repro.policy.OnlinePolicy` day has already migrated
+        during its idle windows (the arrangement is kept in place for
+        tomorrow), and :class:`~repro.policy.NoRearrangement` never
+        moves anything; both just drain, reset the day's counts, and
+        return.
         """
+        if not isinstance(self.policy, NightlyPolicy):
+            return self._end_of_day_inline(now_ms)
         self.final_poll()
         assert self.arranger is not None
         device = self.ioctl.device_name
@@ -166,3 +219,18 @@ class RearrangementController:
         self.analyzer.reset()
         driver.fault_stats.start_new_day()
         return finish
+
+    def _end_of_day_inline(self, now_ms: float) -> float:
+        """Day rollover for the policies with no nightly cycle.
+
+        Drains any in-flight incremental plan (via :meth:`final_poll`),
+        leaves the current arrangement in place — under
+        :class:`~repro.policy.OnlinePolicy` tonight's table *is*
+        tomorrow's starting point — and resets the day's reference
+        counts and fault counters.  No rearrangement I/O is issued.
+        """
+        self.final_poll()
+        self.last_plan = None
+        self.analyzer.reset()
+        self.ioctl.driver.fault_stats.start_new_day()
+        return now_ms

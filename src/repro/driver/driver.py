@@ -232,6 +232,26 @@ class AdaptiveDiskDriver:
 
         return self._enqueue(request, now_ms)
 
+    def enqueue_migration(
+        self, request: DiskRequest, now_ms: float
+    ) -> float | None:
+        """Queue one constituent I/O of an online block move.
+
+        Migration steps carry a pre-resolved physical ``target_block``
+        (no label mapping, no block-table redirection) and enter the
+        ordinary disk queue, where SCAN ordering lets foreground
+        requests preempt them naturally.  They are invisible to the
+        monitoring tables: the analyzer must not count the rearranger's
+        own traffic, and the performance monitor describes foreground
+        requests only (:meth:`complete` skips them symmetrically).
+        """
+        if request.target_block is None:
+            raise BadAddressError(
+                "migration steps must carry a resolved target_block"
+            )
+        request.migration = True
+        return self._enqueue(request, now_ms, record=False)
+
     def resubmit(self, request: DiskRequest, now_ms: float) -> float | None:
         """Re-queue a request that was lost in a crash (client retry).
 
@@ -276,9 +296,14 @@ class AdaptiveDiskDriver:
         request = self._current
         self._current = None
         request.complete_ms = now_ms
-        self.perf_monitor.note_completion(request)
-        if self.tracer is not NULL_TRACER:
-            self.tracer.service_complete(self.name, request, now_ms)
+        if not request.migration:
+            # Migration steps never noted an arrival, so they must not
+            # note a completion either — the performance tables describe
+            # foreground traffic only (their queueing *impact* on
+            # foreground requests is measured, their own service is not).
+            self.perf_monitor.note_completion(request)
+            if self.tracer is not NULL_TRACER:
+                self.tracer.service_complete(self.name, request, now_ms)
         next_completion = None
         if self.queue:
             next_completion = self._start_next(now_ms)

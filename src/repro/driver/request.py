@@ -62,6 +62,11 @@ class DiskRequest:
     rotation_ms: float | None = None
     transfer_ms: float | None = None
     buffer_hit: bool = False
+    migration: bool = False
+    """This request is one constituent I/O of an online block move
+    (:mod:`repro.core.online`), not foreground traffic: it rides the
+    ordinary disk queue but is invisible to the monitoring tables and
+    is dropped — not resubmitted — when lost in a crash."""
     failed: bool = False
     """The request was returned with an unrecoverable device error (a
     permanent media error, or a transient error that exhausted the

@@ -47,8 +47,12 @@ def spec_payload(spec: FleetSpec) -> dict:
     by :meth:`FleetResult.payload` and the checkpoint journal header
     (:func:`repro.fleet.checkpoint.spec_digest`), so a journal binds to
     exactly the spec identity the digest pins.
+
+    The rearrangement ``policy`` enters the payload only when set: the
+    default (``None`` → nightly) is omitted so every digest minted
+    before the policy knob existed stays bit-identical.
     """
-    return {
+    payload = {
         "devices": spec.devices,
         "disk": spec.disk,
         "days": list(spec.resolved_schedule()),
@@ -72,6 +76,11 @@ def spec_payload(spec: FleetSpec) -> dict:
             "profile": spec.tenancy.profile,
         },
     }
+    if spec.policy is not None:
+        from ..policy import resolve_policy
+
+        payload["policy"] = resolve_policy(spec.policy).payload()
+    return payload
 
 
 @dataclass(frozen=True)

@@ -93,6 +93,7 @@ def build_shard_tasks(spec: FleetSpec) -> list[ShardTask]:
                 counter=spec.counter,
                 analyzer_capacity=spec.analyzer_capacity,
                 shared_hot=shared_hot,
+                policy=spec.policy,
             )
             for offset, device in enumerate(indices)
         )

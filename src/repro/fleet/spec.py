@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from ..core.counters import COUNTER_STRATEGIES
 from ..disk.models import DISK_MODELS
+from ..policy import RearrangementPolicy, resolve_policy
 from ..workload.tenancy import TenancySpec
 
 __all__ = ["FleetSpec"]
@@ -49,11 +50,17 @@ class FleetSpec:
     analyzer_capacity: int | None = None
     placement_policy: str = "organ-pipe"
     queue_policy: str = "scan"
+    policy: RearrangementPolicy | str | None = None
+    """Per-device rearrangement policy (instance or ``"nightly"`` /
+    ``"online"`` / ``"off"`` shorthand).  ``None`` keeps the nightly
+    cycle and — for digest stability across releases — is omitted from
+    the spec payload entirely."""
     seed: int = 1993
     """Root of the fleet's ``SeedSequence`` tree (one child per shard,
     one grandchild per device, one child for the shared hot set)."""
 
     def __post_init__(self) -> None:
+        resolve_policy(self.policy)  # validate shorthand/type early
         if self.devices < 1:
             raise ValueError("devices must be positive")
         if self.devices_per_shard < 1:

@@ -21,6 +21,9 @@ Line shapes (``event`` discriminates)::
      "buffer_hit": ...}
     {"event": "rearrangement-begin"|"rearrangement-end", "device": ...,
      "t": ..., "blocks": ...}
+    {"event": "idle-window", "device": ..., "t": ..., "budget_moves": ...}
+    {"event": "migration-move", "device": ..., "t": ..., "lbn": ...,
+     "reserved": ..., "ios": ...}
     {"event": "fault-injected", "device": ..., "t": ..., "block": ...,
      "kind": "transient"|"media", "op": "read"|"write"}
     {"event": "retry", "device": ..., "t": ..., "block": ...,
@@ -144,6 +147,30 @@ class JsonlTraceWriter(Tracer):
                 "device": device,
                 "t": now_ms,
                 "blocks": moved_blocks,
+            }
+        )
+
+    def idle_window(self, device, now_ms, budget_moves):
+        self._emit(
+            {
+                "event": "idle-window",
+                "device": device,
+                "t": now_ms,
+                "budget_moves": budget_moves,
+            }
+        )
+
+    def migration_move(
+        self, device, now_ms, logical_block, reserved_block, ios
+    ):
+        self._emit(
+            {
+                "event": "migration-move",
+                "device": device,
+                "t": now_ms,
+                "lbn": logical_block,
+                "reserved": reserved_block,
+                "ios": ios,
             }
         )
 

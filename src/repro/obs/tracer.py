@@ -93,6 +93,23 @@ class Tracer:
     ) -> None:
         """The driver started bounded retry ``attempt`` for ``block``."""
 
+    def idle_window(
+        self, device: str, now_ms: float, budget_moves: int
+    ) -> None:
+        """The online rearranger opened a migration window on an idle
+        ``device`` (at most ``budget_moves`` block moves this window)."""
+
+    def migration_move(
+        self,
+        device: str,
+        now_ms: float,
+        logical_block: int,
+        reserved_block: int,
+        ios: int,
+    ) -> None:
+        """One incremental block move committed: ``logical_block`` now
+        lives at ``reserved_block`` after ``ios`` queued migration I/Os."""
+
     def recovery_begin(
         self, device: str, now_ms: float, disk_entries: int
     ) -> None:
@@ -152,6 +169,18 @@ class MulticastTracer(Tracer):
     def retry(self, device, now_ms, block, attempt, is_read):
         for tracer in self.tracers:
             tracer.retry(device, now_ms, block, attempt, is_read)
+
+    def idle_window(self, device, now_ms, budget_moves):
+        for tracer in self.tracers:
+            tracer.idle_window(device, now_ms, budget_moves)
+
+    def migration_move(
+        self, device, now_ms, logical_block, reserved_block, ios
+    ):
+        for tracer in self.tracers:
+            tracer.migration_move(
+                device, now_ms, logical_block, reserved_block, ios
+            )
 
     def recovery_begin(self, device, now_ms, disk_entries):
         for tracer in self.tracers:

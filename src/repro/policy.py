@@ -1,0 +1,173 @@
+"""Typed rearrangement policies — when and how blocks move.
+
+The paper runs one policy: a nightly stop-the-world batch cycle that
+cleans the reserved area and repopulates it from the day's reference
+counts.  Production systems cannot always afford a maintenance window, so
+the library now fronts *when rearrangement happens* with a small typed
+hierarchy instead of a boolean flag:
+
+* :class:`NightlyPolicy` — the paper's end-of-day batch cycle (default;
+  behaviourally identical to every release before the policy API).
+* :class:`OnlinePolicy` — incremental migration during detected idle
+  windows, throttled by a cost/benefit model and an amortized I/O budget
+  (:mod:`repro.core.online`, ``docs/online.md``).
+* :class:`NoRearrangement` — monitoring only; blocks never move.
+
+Policies are small frozen dataclasses so they hash, compare, pickle
+across worker processes, and serialize deterministically into bench and
+fleet digests (:meth:`RearrangementPolicy.payload`).  Anywhere a policy
+is accepted, the string shorthands ``"nightly"``, ``"online"`` and
+``"off"`` work too (:func:`resolve_policy`).
+
+This module is a leaf: it imports nothing from the rest of the package,
+so any layer — config, controller, fleet spec, CLI — can depend on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "NightlyPolicy",
+    "NoRearrangement",
+    "OnlinePolicy",
+    "POLICY_SHORTHANDS",
+    "RearrangementPolicy",
+    "resolve_policy",
+]
+
+
+@dataclass(frozen=True)
+class RearrangementPolicy:
+    """Base class of every rearrangement policy.
+
+    ``kind`` is the stable string identity used by shorthands, CLI
+    arguments and digest payloads; subclasses override it.
+    """
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+    def payload(self) -> dict:
+        """Canonical JSON-ready form, stable across releases.
+
+        Included in bench/fleet digest payloads, so field order and
+        contents must only change when behaviour does.
+        """
+        return {"kind": self.kind}
+
+
+@dataclass(frozen=True)
+class NightlyPolicy(RearrangementPolicy):
+    """The paper's policy: batch rearrangement at the end of the day.
+
+    Which nights actually rearrange is decided by the campaign schedule
+    (``rearrange_tomorrow`` per day), exactly as before the policy API
+    existed.
+    """
+
+    @property
+    def kind(self) -> str:
+        return "nightly"
+
+
+@dataclass(frozen=True)
+class OnlinePolicy(RearrangementPolicy):
+    """Incremental rearrangement under live traffic.
+
+    An idle detector watches for queue-empty gaps at least ``idle_ms``
+    long; each gap opens a migration window of at most
+    ``max_moves_per_window`` block moves, issued one at a time through
+    the ordinary SCAN queue so foreground requests preempt them.  A move
+    is only made when its projected seek savings are at least
+    ``min_benefit_ratio`` times its projected migration cost, and an
+    amortized budget refilled at ``duty_cycle`` of elapsed simulated
+    time bounds the total migration I/O (see ``docs/online.md``).
+    """
+
+    idle_ms: float = 250.0
+    """Quiet time that must elapse before a migration window opens."""
+
+    max_moves_per_window: int = 4
+    """Block moves allowed per idle window."""
+
+    min_benefit_ratio: float = 1.0
+    """A move needs ``projected benefit >= ratio * projected cost``."""
+
+    duty_cycle: float = 0.05
+    """Fraction of elapsed simulated time the migration budget accrues."""
+
+    def __post_init__(self) -> None:
+        if not self.idle_ms >= 0.0:
+            raise ValueError(f"idle_ms must be >= 0, got {self.idle_ms}")
+        if self.max_moves_per_window < 1:
+            raise ValueError(
+                "max_moves_per_window must be >= 1, got "
+                f"{self.max_moves_per_window}"
+            )
+        if not self.min_benefit_ratio >= 0.0:
+            raise ValueError(
+                f"min_benefit_ratio must be >= 0, got {self.min_benefit_ratio}"
+            )
+        if not 0.0 < self.duty_cycle <= 1.0:
+            raise ValueError(
+                f"duty_cycle must be in (0, 1], got {self.duty_cycle}"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "online"
+
+    def payload(self) -> dict:
+        return {
+            "kind": self.kind,
+            "idle_ms": self.idle_ms,
+            "max_moves_per_window": self.max_moves_per_window,
+            "min_benefit_ratio": self.min_benefit_ratio,
+            "duty_cycle": self.duty_cycle,
+        }
+
+
+@dataclass(frozen=True)
+class NoRearrangement(RearrangementPolicy):
+    """Monitoring only: the reserved area is never populated."""
+
+    @property
+    def kind(self) -> str:
+        return "off"
+
+
+POLICY_SHORTHANDS: dict[str, type[RearrangementPolicy]] = {
+    "nightly": NightlyPolicy,
+    "online": OnlinePolicy,
+    "off": NoRearrangement,
+}
+"""String spellings accepted wherever a policy object is."""
+
+
+def resolve_policy(
+    policy: RearrangementPolicy | str | None,
+) -> RearrangementPolicy:
+    """Normalize a policy argument to a :class:`RearrangementPolicy`.
+
+    Accepts a policy instance (returned as-is), one of the
+    :data:`POLICY_SHORTHANDS` strings, or ``None`` (the default:
+    :class:`NightlyPolicy`, the pre-policy-API behaviour).
+    """
+    if policy is None:
+        return NightlyPolicy()
+    if isinstance(policy, RearrangementPolicy):
+        return policy
+    if isinstance(policy, str):
+        try:
+            return POLICY_SHORTHANDS[policy.lower()]()
+        except KeyError:
+            known = ", ".join(sorted(POLICY_SHORTHANDS))
+            raise ValueError(
+                f"unknown rearrangement policy {policy!r}; known: {known}"
+            ) from None
+    raise TypeError(
+        "policy must be a RearrangementPolicy, a shorthand string, or "
+        f"None, got {type(policy).__name__}"
+    )

@@ -28,6 +28,7 @@ from ..driver.request import DiskRequest
 from ..obs.tracer import NULL_TRACER, Tracer
 from .events import (
     DeviceComplete,
+    DeviceIdle,
     EventBus,
     EventQueue,
     JobStart,
@@ -92,6 +93,10 @@ class Simulation:
         """Total events this simulation has processed (all :meth:`run` calls)."""
         self._devices: dict[str, DeviceState] = {}
         self._waiting_jobs: dict[int, tuple[Job, int, str]] = {}
+        self._idle_events = False
+        self._migration_sinks: dict[
+            str, Callable[[DiskRequest, float], None]
+        ] = {}
         self.bus.subscribe(JobStart, self._on_job_start)
         self.bus.subscribe(StepIssue, self._on_step_issue)
         self.bus.subscribe(DeviceComplete, self._on_device_complete)
@@ -120,6 +125,7 @@ class Simulation:
         self.bus.clear()
         self._devices.clear()
         self._waiting_jobs.clear()
+        self._migration_sinks.clear()
         # Rebind rather than clear: run() hands the completed list to
         # callers, who may still be reading it.
         self.completed = []
@@ -224,6 +230,49 @@ class Simulation:
         first = start_offset_ms if start_offset_ms is not None else interval_ms
         self.events.push(base + first, PeriodicFire(task))
 
+    # ------------------------------------------------------------------
+    # Online migration (repro.core.online)
+    # ------------------------------------------------------------------
+
+    def emit_idle_events(self) -> None:
+        """Publish a :class:`DeviceIdle` event whenever a device drains.
+
+        Off by default — without a subscriber the completion path never
+        pushes idle events, so runs with no online rearranger process an
+        identical event sequence.  The caller (an idle detector) must
+        have subscribed a :class:`DeviceIdle` handler before the next
+        device drains, or dispatch will raise.
+        """
+        self._idle_events = True
+
+    def set_migration_sink(
+        self, device: str, sink: Callable[[DiskRequest, float], None]
+    ) -> None:
+        """Deliver completed migration steps on ``device`` to ``sink``.
+
+        Migration requests never enter the completed lists nor resume
+        waiting jobs; the sink — ``sink(request, now_ms)`` — is the only
+        place their completions surface.
+        """
+        if device not in self._devices:
+            raise KeyError(f"unknown device {device!r}")
+        self._migration_sinks[device] = sink
+
+    def submit_migration(self, device: str, request: DiskRequest) -> None:
+        """Queue one constituent I/O of an online block move *now*.
+
+        The request must carry a pre-resolved ``target_block``; it joins
+        the device's ordinary disk queue as a low-priority job (foreground
+        requests preempt it through SCAN ordering) and its completion is
+        routed to the device's migration sink.
+        """
+        state = self._devices[device]
+        request.migration = True
+        state.outstanding += 1
+        completion = state.driver.enqueue_migration(request, self.now_ms)
+        if completion is not None:
+            self._schedule_completion(state, completion)
+
     def schedule_crash(self, at_ms: float) -> None:
         """Crash the whole machine at simulation time ``at_ms``.
 
@@ -322,6 +371,18 @@ class Simulation:
         state.completion_scheduled = False
         request, next_completion = state.driver.complete(self.now_ms)
         state.outstanding -= 1
+        if request.migration:
+            # Migration steps surface only through the sink (which may
+            # immediately submit the next step of the move) — they are
+            # not workload completions.
+            if next_completion is not None:
+                self._schedule_completion(state, next_completion)
+            sink = self._migration_sinks.get(event.device)
+            if sink is not None:
+                sink(request, self.now_ms)
+            if self._idle_events and not state.completion_scheduled:
+                self.events.push(self.now_ms, DeviceIdle(state.name))
+            return
         state.completed.append(request)
         self.completed.append(request)
         follow_up = self._waiting_jobs.pop(request.request_id, None)
@@ -333,6 +394,8 @@ class Simulation:
             )
         if next_completion is not None:
             self._schedule_completion(state, next_completion)
+        elif self._idle_events:
+            self.events.push(self.now_ms, DeviceIdle(state.name))
 
     def _schedule_completion(self, state: DeviceState, time_ms: float) -> None:
         if state.completion_scheduled:  # pragma: no cover - defensive
@@ -356,6 +419,13 @@ class Simulation:
             state.completion_scheduled = False
             clock = driver.recover(now)
             for request in lost:
+                if request.migration:
+                    # An interrupted block move is abandoned, not
+                    # retried: its table entry was never committed, so
+                    # the home copy stays authoritative (the online
+                    # arranger observes the crash and resets its state).
+                    state.outstanding -= 1
+                    continue
                 completion = driver.resubmit(request, clock)
                 if completion is not None:
                     self._schedule_completion(state, completion)

@@ -61,6 +61,30 @@ class PeriodicFire(SimEvent):
 
 
 @dataclass(frozen=True, eq=False, slots=True)
+class DeviceIdle(SimEvent):
+    """``device`` just drained: its last in-flight operation completed
+    with nothing queued behind it.
+
+    Only published when a subscriber asked for idle events
+    (:meth:`~repro.sim.engine.Simulation.emit_idle_events`); runs without
+    an online rearranger never see — or pay for — these.
+    """
+
+    device: str
+
+
+@dataclass(frozen=True, eq=False, slots=True)
+class IdleCheck(SimEvent):
+    """A scheduled probe of whether a queue-empty gap on ``device`` stayed
+    quiet.  ``token`` is the idle detector's activity sequence number at
+    scheduling time: if any foreground work arrived in between, the
+    token no longer matches and the gap is discarded."""
+
+    device: str
+    token: int
+
+
+@dataclass(frozen=True, eq=False, slots=True)
 class MachineCrash(SimEvent):
     """The (simulated) machine crashes: every device loses its volatile
     state and recovers with the paper's all-dirty protocol; lost requests

@@ -40,6 +40,7 @@ from ..driver.ioctl import IoctlInterface
 from ..driver.queue import make_queue
 from ..faults.plan import FaultPlan
 from ..obs.tracer import NULL_TRACER, Tracer
+from ..policy import RearrangementPolicy, resolve_policy
 from ..stats.metrics import DayMetrics
 from ..workload.generator import DayWorkload, WorkloadGenerator
 from ..workload.profiles import WorkloadProfile, profile_for_disk
@@ -80,6 +81,10 @@ class ExperimentConfig:
     faults: FaultPlan | None = None
     """Deterministic fault injection; ``None`` (or an empty plan) keeps
     the fault machinery entirely off the driver's hot path."""
+    policy: RearrangementPolicy | str | None = None
+    """*When* rearrangement runs: a :class:`~repro.policy
+    .RearrangementPolicy` instance or shorthand (``"nightly"``,
+    ``"online"``, ``"off"``).  ``None`` means the paper's nightly cycle."""
 
     def __post_init__(self) -> None:
         if self.counter not in COUNTER_STRATEGIES:
@@ -87,6 +92,7 @@ class ExperimentConfig:
                 f"unknown counter strategy {self.counter!r}; "
                 f"known: {', '.join(COUNTER_STRATEGIES)}"
             )
+        resolve_policy(self.policy)  # validate early; resolved per use
 
     def resolved_reserved_cylinders(self) -> int:
         if self.reserved_cylinders is not None:
@@ -97,6 +103,10 @@ class ExperimentConfig:
         if self.num_blocks is not None:
             return self.num_blocks
         return PAPER_REARRANGED_BLOCKS[self.disk]
+
+    def resolved_policy(self) -> RearrangementPolicy:
+        """The :attr:`policy` as a policy instance (``None`` → nightly)."""
+        return resolve_policy(self.policy)
 
     def resolved_analyzer_capacity(self) -> int | None:
         """The analyzer's list/sketch size.
@@ -193,6 +203,7 @@ class Experiment:
         self.ioctl = IoctlInterface(self.driver)
         self.controller = RearrangementController(
             ioctl=self.ioctl,
+            policy=config.resolved_policy(),
             analyzer=ReferenceStreamAnalyzer(
                 capacity=config.resolved_analyzer_capacity(),
                 heuristic=config.analyzer_heuristic,

@@ -34,6 +34,7 @@ from ..driver.driver import AdaptiveDiskDriver
 from ..driver.ioctl import IoctlInterface
 from ..driver.queue import make_queue
 from ..obs.tracer import NULL_TRACER, Tracer
+from ..policy import RearrangementPolicy, resolve_policy
 from ..stats.metrics import DayMetrics
 from ..workload.generator import WorkloadGenerator
 from ..workload.profiles import WorkloadProfile, profile_for_disk
@@ -219,6 +220,9 @@ class DiskSpec:
     shared_hot: SharedHotSet | None = None
     """Fleet-wide shared hot content overlaid on the device's private
     popularity draw (see :class:`repro.workload.tenancy.SharedHotSet`)."""
+    policy: RearrangementPolicy | str | None = None
+    """Rearrangement policy for this device (instance or shorthand);
+    ``None`` keeps the nightly cycle."""
 
     @property
     def num_rearranged(self) -> int | None:
@@ -312,6 +316,7 @@ class MultiDiskExperiment:
                 arranger=BlockArranger(
                     ioctl, policy=make_policy(spec.placement_policy)
                 ),
+                policy=resolve_policy(spec.policy),
             )
             profile = profile_for_disk(spec.profile, spec.disk)
             partition = label.add_partition(

@@ -30,7 +30,7 @@ class TestFacade:
         assert day.workload_requests > 0
 
     def test_simulate_day_rearranged_runs_training_day_first(self):
-        day = simulate_day(hours=0.05, rearranged=True)
+        day = simulate_day(hours=0.05, policy="nightly")
         assert day.metrics.rearranged
         assert day.rearranged_blocks > 0
 

@@ -1,0 +1,303 @@
+"""Online incremental rearrangement (``repro.core.online``): idle-window
+detection edge cases, the cost/benefit throttle against the precomputed
+seek tables, end-to-end migration days, crash safety mid-move, and
+determinism at any worker count."""
+
+import pytest
+
+from repro.bench.digest import day_metrics_payload
+from repro.core.analyzer import ReferenceStreamAnalyzer
+from repro.core.controller import RearrangementController
+from repro.core.online import (
+    BUDGET_CAP_MS,
+    IdleDetector,
+    IncrementalArranger,
+)
+from repro.disk.disk import Disk
+from repro.disk.label import DiskLabel
+from repro.disk.models import TOSHIBA_MK156F
+from repro.driver.driver import AdaptiveDiskDriver
+from repro.driver.ioctl import IoctlInterface
+from repro.driver.request import Op
+from repro.faults.invariants import BlockTableInvariants
+from repro.fleet import FleetSpec, run_fleet
+from repro.policy import OnlinePolicy
+from repro.sim.engine import Simulation
+from repro.sim.jobs import batch_job
+from repro.workload.tenancy import TenancySpec
+
+
+def make_rig(policy=None, poll_ms=25.0):
+    """A toshiba driver with a reserved area and (optionally) a
+    controller running ``policy`` with fast monitor polls."""
+    label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=48)
+    driver = AdaptiveDiskDriver(disk=Disk(TOSHIBA_MK156F), label=label)
+    ioctl = IoctlInterface(driver)
+    controller = None
+    if policy is not None:
+        controller = RearrangementController(
+            ioctl=ioctl, policy=policy, poll_interval_ms=poll_ms
+        )
+    return driver, ioctl, controller
+
+
+def drain_time_ms(jobs):
+    """When the foreground workload alone finishes: the last completion
+    time of a bare simulation (no controller, no idle machinery)."""
+    driver, __, __ = make_rig()
+    simulation = Simulation(driver)
+    for job in jobs:
+        simulation.add_job(job)
+    simulation.run()
+    return simulation.now_ms
+
+
+def run_online(policy, jobs, until_ms=None, crash_at=None):
+    driver, __, controller = make_rig(policy)
+    simulation = Simulation(driver)
+    controller.attach_to(simulation)
+    for job in jobs:
+        simulation.add_job(job)
+    if crash_at is not None:
+        simulation.schedule_crash(crash_at)
+    simulation.run(until_ms)
+    return driver, controller, simulation
+
+
+def hot_burst(repeats=16):
+    """Hammer four blocks whose home cylinders sit far from the reserved
+    center, so every one is a high-benefit migration candidate."""
+    return batch_job(0.0, [0, 1, 2, 3] * repeats, Op.READ)
+
+
+class TestIdleDetector:
+    def detect(self, idle_ms, jobs):
+        driver, ioctl, __ = make_rig()
+        simulation = Simulation(driver)
+        windows = []
+        detector = IdleDetector(
+            ioctl.device_name, driver, idle_ms, windows.append
+        )
+        detector.attach(simulation)
+        for job in jobs:
+            simulation.add_job(job)
+        simulation.run()
+        return windows, detector
+
+    def test_window_opens_idle_ms_after_the_drain(self):
+        jobs = [batch_job(0.0, [5, 6, 7], Op.READ)]
+        drained = drain_time_ms(jobs)
+        windows, __ = self.detect(250.0, jobs)
+        assert windows == [pytest.approx(drained + 250.0)]
+
+    def test_zero_gap_degenerates_to_window_per_drain(self):
+        jobs = [batch_job(0.0, [5, 6, 7], Op.READ)]
+        drained = drain_time_ms(jobs)
+        windows, __ = self.detect(0.0, jobs)
+        assert windows == [pytest.approx(drained)]
+
+    def test_back_to_back_gaps_open_separate_windows(self):
+        jobs = [
+            batch_job(0.0, [5, 6, 7], Op.READ),
+            batch_job(5_000.0, [8, 9], Op.READ),
+        ]
+        windows, __ = self.detect(100.0, jobs)
+        assert len(windows) == 2
+        assert windows[0] < 5_000.0 < windows[1]
+
+    def test_interrupted_gap_is_rearmed_not_lost(self):
+        """A burst arriving mid-probe staleness-kills the pending check;
+        the detector must re-arm from the *second* drain rather than
+        opening a window on the interrupted gap (or never again)."""
+        jobs = [
+            batch_job(0.0, [3], Op.READ),
+            # Arrives inside the first 1000 ms probe window.
+            batch_job(300.0, [9], Op.READ),
+        ]
+        windows, __ = self.detect(1_000.0, jobs)
+        assert len(windows) == 1
+        # Not the interrupted gap's check time (~1020 ms): a full quiet
+        # second after the second burst.
+        assert windows[0] >= 1_300.0
+
+    def test_foreground_activity_bumps_the_sequence(self):
+        windows, detector = self.detect(
+            100.0, [batch_job(0.0, [5, 6, 7], Op.READ)]
+        )
+        assert detector.activity_seq > 0
+
+
+class TestThrottle:
+    def arranger(self, policy=None):
+        driver, ioctl, __ = make_rig()
+        return (
+            IncrementalArranger(
+                ioctl, ReferenceStreamAnalyzer(), policy or OnlinePolicy()
+            ),
+            driver,
+            ioctl,
+        )
+
+    def test_benefit_prices_the_seek_table_saving(self):
+        arranger, driver, ioctl = self.arranger()
+        disk = driver.disk
+        per_cyl = disk.geometry.blocks_per_cylinder
+        center = driver.label.reserved_center_cylinder()
+        slot = ioctl.get_reserved_area().data_blocks[0]
+        home = 0  # cylinder 0: maximal distance from the reserved center
+        expected = 7 * (
+            disk._seek_table[abs(0 - center)]
+            - disk._seek_table[abs(slot // per_cyl - center)]
+        )
+        assert arranger.projected_benefit_ms(7, home, slot) == pytest.approx(
+            expected
+        )
+        assert expected > 0.0
+
+    def test_benefit_scales_linearly_with_count(self):
+        arranger, __, ioctl = self.arranger()
+        slot = ioctl.get_reserved_area().data_blocks[0]
+        one = arranger.projected_benefit_ms(1, 0, slot)
+        assert arranger.projected_benefit_ms(12, 0, slot) == pytest.approx(
+            12 * one
+        )
+
+    def test_cost_prices_every_constituent_io_plus_the_span(self):
+        arranger, driver, ioctl = self.arranger()
+        disk = driver.disk
+        per_cyl = disk.geometry.blocks_per_cylinder
+        slot = ioctl.get_reserved_area().data_blocks[0]
+        home = 0
+        n_ios = 2 + len(driver.label.block_table_home_blocks())
+        per_io = (
+            disk._overhead_ms
+            + disk._rotation_time_ms / 2.0
+            + disk._block_transfer_ms
+        )
+        expected = n_ios * per_io + 2.0 * disk._seek_table[
+            abs(0 - slot // per_cyl)
+        ]
+        assert arranger.projected_cost_ms(home, slot) == pytest.approx(
+            expected
+        )
+
+    def test_block_already_at_the_center_has_no_benefit(self):
+        arranger, driver, ioctl = self.arranger()
+        slots = ioctl.get_reserved_area().data_blocks
+        # Moving a reserved-center block into another reserved slot
+        # saves (at most) nothing.
+        assert arranger.projected_benefit_ms(100, slots[0], slots[1]) <= 0.0
+
+    def test_budget_accrues_at_duty_cycle_and_caps(self):
+        arranger, __, __ = self.arranger(
+            OnlinePolicy(duty_cycle=0.05)
+        )
+        assert arranger.budget_ms == 0.0
+        arranger._refill_budget(1_000.0)
+        assert arranger.budget_ms == pytest.approx(50.0)
+        arranger._refill_budget(1e9)
+        assert arranger.budget_ms == BUDGET_CAP_MS
+
+
+class TestOnlineDay:
+    def test_idle_windows_migrate_hot_blocks(self):
+        policy = OnlinePolicy(idle_ms=50.0, duty_cycle=1.0)
+        driver, controller, __ = run_online(policy, [hot_burst()])
+        controller.final_poll()
+        stats = controller.online_stats
+        assert stats.windows >= 1
+        assert stats.moves_completed >= 1
+        # Every committed move is in the in-memory table AND flushed to
+        # the reserved-area copy (crash safety), nothing else is.
+        assert len(driver.block_table) == stats.moves_completed
+        assert len(driver.block_table.disk_copy()) == stats.moves_completed
+        BlockTableInvariants(driver.label).check(driver.block_table)
+        # Read home + write copy + table rewrite(s) per committed move.
+        assert stats.migration_ios >= 3 * stats.moves_completed
+
+    def test_starved_budget_defers_instead_of_moving(self):
+        policy = OnlinePolicy(idle_ms=50.0, duty_cycle=1e-6)
+        driver, controller, __ = run_online(policy, [hot_burst()])
+        controller.final_poll()
+        stats = controller.online_stats
+        assert stats.moves_deferred >= 1
+        assert stats.moves_completed == 0
+        assert len(driver.block_table) == 0
+
+    def test_absurd_benefit_ratio_skips_every_candidate(self):
+        policy = OnlinePolicy(
+            idle_ms=50.0, duty_cycle=1.0, min_benefit_ratio=1e9
+        )
+        driver, controller, __ = run_online(policy, [hot_burst()])
+        controller.final_poll()
+        stats = controller.online_stats
+        assert stats.moves_skipped >= 1
+        assert stats.moves_completed == 0
+
+    def test_final_poll_drains_an_in_flight_move(self):
+        burst = [hot_burst()]
+        drained = drain_time_ms(burst)
+        policy = OnlinePolicy(idle_ms=50.0, duty_cycle=1.0)
+        # Stop the event loop 1 ms into the first window: the first
+        # constituent I/O of the first move is still in flight.
+        driver, controller, __ = run_online(
+            policy, burst, until_ms=drained + 51.0
+        )
+        arranger = controller._online.arranger
+        assert arranger.move_in_flight
+        controller.final_poll()
+        assert not arranger.move_in_flight
+        assert controller.online_stats.moves_cancelled == 1
+        # The abandoned move committed nothing.
+        assert len(driver.block_table) == 0
+        assert len(driver.block_table.disk_copy()) == 0
+
+    def test_crash_during_incremental_move_recovers_cleanly(self):
+        """Pinned-seed chaos case: the machine dies while a move's
+        constituent I/O is in flight.  The reserved-area table copy never
+        saw the half-finished move, so recovery leaves the home copy
+        authoritative and the table bit-consistent with disk."""
+        burst = [hot_burst()]
+        drained = drain_time_ms(burst)
+        policy = OnlinePolicy(idle_ms=50.0, duty_cycle=1.0)
+        driver, controller, __ = run_online(
+            policy, burst, crash_at=drained + 51.0
+        )
+        controller.final_poll()
+        stats = controller.online_stats
+        assert stats.crash_aborts == 1
+        # Whatever committed (before or after the crash) is exactly what
+        # the table — in memory and on disk — records.
+        assert len(driver.block_table) == stats.moves_completed
+        assert len(driver.block_table.disk_copy()) == stats.moves_completed
+        BlockTableInvariants(driver.label).check(driver.block_table)
+
+
+class TestDeterminism:
+    def test_same_policy_same_day_twice(self):
+        from repro.api import simulate_day
+
+        runs = [
+            simulate_day(hours=0.05, policy=OnlinePolicy(idle_ms=100.0))
+            for __ in range(2)
+        ]
+        first, second = (day_metrics_payload(day.metrics) for day in runs)
+        assert first == second
+        assert runs[0].workload_requests == runs[1].workload_requests
+
+    def test_fleet_digest_identical_at_workers_1_and_8(self):
+        """The acceptance criterion: an OnlinePolicy fleet digest does
+        not depend on the worker count."""
+        spec = FleetSpec(
+            devices=8,
+            disk="toshiba",
+            devices_per_shard=1,
+            days=2,
+            hours=0.05,
+            tenancy=TenancySpec(tenants=16, sessions_per_tenant_hour=40.0),
+            policy="online",
+        )
+        serial = run_fleet(spec, workers=1)
+        parallel = run_fleet(spec, workers=8)
+        assert serial.digest() == parallel.digest()
+        assert serial.payload() == parallel.payload()
