@@ -27,7 +27,7 @@ from typing import Sequence
 
 from pathlib import Path
 
-from ._compat import warn_deprecated
+from ._compat import removed_alias
 from .bench import BenchReport, get_scenarios, run_suite
 from .fleet import FleetResult, FleetSpec
 from .fleet import run_fleet as _run_fleet
@@ -46,6 +46,7 @@ from .sim.experiment import (
     alternating_schedule,
 )
 from .sim.experiment import run_campaign as _run_campaign
+from .sim.ssd import SsdConfig, SsdDayResult, SsdExperiment
 from .traces.ingest import ingest_trace
 from .traces.replay import TraceReplayResult, replay_jobs
 from .traces.rescale import DEFAULT_GAP_MS
@@ -62,6 +63,9 @@ __all__ = [
     "NoRearrangement",
     "OnlinePolicy",
     "RearrangementPolicy",
+    "SsdConfig",
+    "SsdDayResult",
+    "SsdExperiment",
     "TraceReplayResult",
     "make_config",
     "replay_trace",
@@ -71,11 +75,6 @@ __all__ = [
     "simulate_day",
 ]
 
-_UNSET = object()
-"""Sentinel distinguishing "not passed" from an explicit ``False`` for
-the deprecated ``simulate_day(rearranged=...)`` keyword."""
-
-
 def make_config(
     profile: str | WorkloadProfile = "system",
     disk: str = "toshiba",
@@ -83,17 +82,21 @@ def make_config(
     hours: float | None = None,
     seed: int = 1993,
     **overrides: object,
-) -> ExperimentConfig:
-    """Build an :class:`ExperimentConfig` from short names.
+) -> ExperimentConfig | SsdConfig:
+    """Build an :class:`ExperimentConfig` (or :class:`SsdConfig`) from
+    short names.
 
     ``profile`` is a preset name (``"system"`` or ``"users"``) or a full
     :class:`WorkloadProfile`; ``disk`` is ``"toshiba"``, ``"fujitsu"``,
-    or the ~8 GB ``"modern"`` scale-testing drive; ``hours`` shortens the
+    the ~8 GB ``"modern"`` scale-testing drive, or ``"ssd"`` for the
+    page-mapped flash backend (``docs/ftl.md``); ``hours`` shortens the
     simulated day (the paper's days are 15 h — 0.1 to 0.25 keeps a day
-    under a second).  Any remaining keywords pass through to
-    :class:`ExperimentConfig` unchanged (``num_blocks=``,
+    under a second).  Any remaining keywords pass through to the config
+    class unchanged — :class:`ExperimentConfig` takes ``num_blocks=``,
     ``placement_policy=``, ``faults=``, ``counter="spacesaving"`` for the
-    bounded top-k sketch of ``docs/scaling.md``, ...).
+    bounded top-k sketch of ``docs/scaling.md``, ...; with ``disk="ssd"``
+    the FTL knobs apply instead (``cmt_capacity=``, ``gc_policy=``,
+    ``hot_threshold=``, ``reference_disk=``, ...).
     """
     if isinstance(profile, str):
         try:
@@ -105,20 +108,22 @@ def make_config(
             ) from None
     if hours is not None:
         profile = profile.scaled(hours)
+    if disk == "ssd":
+        return SsdConfig(profile=profile, seed=seed, **overrides)
     return ExperimentConfig(profile=profile, disk=disk, seed=seed, **overrides)
 
 
+@removed_alias(rearranged="policy")
 def simulate_day(
-    config: ExperimentConfig | None = None,
+    config: ExperimentConfig | SsdConfig | None = None,
     *,
     policy: RearrangementPolicy | str | None = None,
-    rearranged: bool = _UNSET,  # type: ignore[assignment]
     profile: str | WorkloadProfile = "system",
     disk: str = "toshiba",
     hours: float | None = None,
     seed: int = 1993,
     tracer: Tracer = NULL_TRACER,
-) -> DayResult:
+) -> DayResult | SsdDayResult:
     """Simulate one measurement day and return its :class:`DayResult`.
 
     ``policy`` selects *when* blocks move (``repro.policy``):
@@ -133,22 +138,19 @@ def simulate_day(
     * ``"off"`` / :class:`NoRearrangement` — one day, monitoring only.
 
     Pass a ``config`` for full control, or the ``profile``/``disk``/
-    ``hours``/``seed`` shorthand.  ``rearranged=True`` is the deprecated
-    spelling of ``policy="nightly"`` (one release of
-    :class:`DeprecationWarning`, then removal).
+    ``hours``/``seed`` shorthand.  With ``disk="ssd"`` (or an
+    :class:`SsdConfig`) the day runs through the page-mapped FTL instead
+    and returns an :class:`SsdDayResult`; there ``policy`` decides
+    hot/cold write separation, not block moves (``docs/ftl.md``).  The
+    removed ``rearranged=`` boolean raises a :class:`TypeError` naming
+    ``policy=``.
     """
-    if rearranged is not _UNSET:
-        if policy is not None:
-            raise TypeError(
-                "simulate_day() got both policy= and the deprecated "
-                "rearranged=; pass only policy="
-            )
-        warn_deprecated(
-            "simulate_day(rearranged=...)", 'simulate_day(policy="nightly")'
-        )
-        policy = "nightly" if rearranged else None
     if config is None:
         config = make_config(profile, disk, hours=hours, seed=seed)
+    if isinstance(config, SsdConfig):
+        if policy is not None:
+            config = replace(config, policy=policy)
+        return SsdExperiment(config, tracer=tracer).run_day()
     if policy is not None:
         config = replace(config, policy=policy)
     resolved = config.resolved_policy()

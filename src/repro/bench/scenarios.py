@@ -50,6 +50,17 @@ Three scenarios cover the simulator's hot paths from three angles:
     layer's core guarantee (``docs/resilience.md``) is re-proven on
     every bench run — and times the fault-handling path.
 
+``ssd_day``
+    The flash counterpart (``docs/ftl.md``): the *users* workload runs
+    once through the mechanical disk and twice through the page-mapped
+    FTL — hot/cold write separation off, then on — all on identical
+    generated days.  The scenario *asserts* the separation contract:
+    analyzer-driven hot/cold separation must finish the campaign with
+    lower overall write amplification than the separation-off run on the
+    same seed.  Its detail records write amplification for both runs, GC
+    run/move counts, the mapping-cache hit ratio, and max/mean erase
+    counts, so the report doubles as a wear/GC summary.
+
 ``online_day``
     Online incremental rearrangement under live traffic
     (``docs/online.md``): the same two days run once under
@@ -439,6 +450,77 @@ def _online_day(quick: bool) -> ScenarioResult:
     )
 
 
+def _ssd_day(quick: bool) -> ScenarioResult:
+    from ..sim.ssd import SsdConfig, SsdExperiment
+
+    # Compress the clock but keep the full day's file churn: flash cost
+    # depends on the write mix, not on arrival spacing, and ``scaled()``
+    # would shrink the day's new-file traffic to the point where the
+    # hot/cold mix (and separation's benefit) disappears.
+    hours = 2.0
+    num_days = 2 if quick else 3
+    profile = replace(PROFILES["users"], day_hours=hours)
+    # Reference leg: the same generated days through the mechanical disk.
+    disk_experiment = Experiment(
+        ExperimentConfig(profile=profile, disk="toshiba", seed=1993)
+    )
+    disk_leg = _run_days(
+        disk_experiment, [False] + [True] * (num_days - 1)
+    )
+    events = disk_experiment.events_dispatched
+    requests = disk_leg.requests
+    ftl_days: dict[str, list[dict[str, Any]]] = {}
+    ftl_results: dict[str, list] = {}
+    for key, policy in (("unseparated", "off"), ("separated", "nightly")):
+        experiment = SsdExperiment(
+            SsdConfig(profile=profile, policy=policy, cmt_capacity=1024)
+        )
+        results = experiment.run_days(num_days)
+        events += experiment.events_dispatched
+        requests += sum(day.workload_requests for day in results)
+        ftl_days[key] = [day.payload() for day in results]
+        ftl_results[key] = results
+
+    def overall_wa(results: list) -> float:
+        host = sum(day.host_page_writes for day in results)
+        flash = sum(day.flash_page_writes for day in results)
+        return flash / host if host else 0.0
+
+    wa_off = overall_wa(ftl_results["unseparated"])
+    wa_on = overall_wa(ftl_results["separated"])
+    if wa_on >= wa_off:
+        raise RuntimeError(
+            "hot/cold separation did not reduce write amplification: "
+            f"{wa_on:.4f} (on) vs {wa_off:.4f} (off)"
+        )
+    separated = ftl_results["separated"]
+    return ScenarioResult(
+        payload={
+            "disk": disk_leg.payload["days"],
+            "ssd": ftl_days,
+            "write_amplification": {
+                "unseparated": round(wa_off, 6),
+                "separated": round(wa_on, 6),
+            },
+        },
+        events=events,
+        requests=requests,
+        detail={
+            "reference_disk": "toshiba",
+            "flash": "ssd",
+            "hours": hours,
+            "days": num_days,
+            "write_amplification_off": wa_off,
+            "write_amplification_on": wa_on,
+            "gc_runs": sum(day.gc_runs for day in separated),
+            "gc_page_moves": sum(day.gc_page_moves for day in separated),
+            "cmt_hit_ratio": separated[-1].cmt_hit_ratio,
+            "max_erase_count": separated[-1].max_erase_count,
+            "mean_erase_count": separated[-1].mean_erase_count,
+        },
+    )
+
+
 def _trace_replay(quick: bool) -> ScenarioResult:
     from ..traces import fixture_path, ingest_trace, replay_jobs
 
@@ -528,6 +610,12 @@ SCENARIOS: dict[str, Scenario] = {
             "fleet day under injected worker faults; digest must match "
             "the clean run",
             _fleet_chaos,
+        ),
+        Scenario(
+            "ssd_day",
+            "users day on the page-mapped FTL, disk vs flash, separation "
+            "on vs off; asserts separation lowers write amplification",
+            _ssd_day,
         ),
         Scenario(
             "online_day",

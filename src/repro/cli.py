@@ -10,7 +10,8 @@ Subcommands::
     python -m repro replay   day0.trace --disk toshiba [--rearrange]
     python -m repro trace    run.jsonl --disk toshiba
     python -m repro fleet    --devices 64 --workers 8 --progress
-    python -m repro bench    [--quick] [--compare BASELINE.json]
+    python -m repro ssd      --profile users --days 3 --policy off
+    python -m repro bench    [--quick] [--list] [--compare BASELINE.json]
 
 ``ingest`` converts a raw external block trace (blkparse text output or
 MSR-Cambridge-style CSV) into the internal trace format that ``replay``
@@ -447,6 +448,62 @@ def cmd_fleet(args) -> int:
     return 1 if result.degraded and args.on_error != "skip" else 0
 
 
+def cmd_ssd(args) -> int:
+    from .driver.errors import DriverError
+    from .sim.ssd import SsdConfig, SsdExperiment
+
+    profile = PROFILES[args.profile]
+    if args.hours is not None:
+        profile = profile.scaled(hours=args.hours)
+    try:
+        config = SsdConfig(
+            profile=profile,
+            flash=args.flash,
+            reference_disk=args.disk,
+            seed=args.seed,
+            policy=_policy_of(args),
+            cmt_capacity=args.cmt_capacity,
+            gc_policy=args.gc_policy,
+            hot_threshold=args.hot_threshold,
+            precondition=not args.no_precondition,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(f"bad ssd config: {exc}")
+    tracer = JsonlTraceWriter(args.trace) if args.trace else NULL_TRACER
+    try:
+        try:
+            experiment = SsdExperiment(config, tracer=tracer)
+        except DriverError as exc:
+            raise SystemExit(f"bad ssd config: {exc}")
+        days = experiment.run_days(args.days)
+    finally:
+        tracer.close()
+    if args.trace:
+        print(f"wrote {tracer.events_written} trace events -> {args.trace}\n")
+    separation = "on" if config.separation else "off"
+    print(
+        f"flash {args.flash} ({args.disk} span), gc {args.gc_policy}, "
+        f"hot/cold separation {separation}"
+    )
+    header = (
+        f"{'day':>3} {'reqs':>6} {'resp ms':>8} {'WA':>6} {'GC':>5} "
+        f"{'moved':>6} {'cmt hit':>8} {'maxE':>5} {'meanE':>6}"
+    )
+    print(header)
+    for day in days:
+        print(
+            f"{day.day:>3} {day.completed:>6} {day.mean_response_ms:>8.3f} "
+            f"{day.write_amplification:>6.3f} {day.gc_runs:>5} "
+            f"{day.gc_page_moves:>6} {day.cmt_hit_ratio:>8.3f} "
+            f"{day.max_erase_count:>5} {day.mean_erase_count:>6.2f}"
+        )
+    host = sum(d.host_page_writes for d in days)
+    flash = sum(d.flash_page_writes for d in days)
+    if host:
+        print(f"\noverall write amplification: {flash / host:.4f}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from .bench import (
         BenchError,
@@ -458,7 +515,13 @@ def cmd_bench(args) -> int:
         write_report,
     )
     from .bench.runner import render_report_line
+    from .bench.scenarios import SCENARIOS
 
+    if args.list:
+        width = max(len(name) for name in SCENARIOS)
+        for scenario in SCENARIOS.values():
+            print(f"{scenario.name:<{width}}  {scenario.description}")
+        return 0
     names = args.scenarios.split(",") if args.scenarios else None
     try:
         scenarios = get_scenarios(names)
@@ -482,6 +545,14 @@ def cmd_bench(args) -> int:
             baseline = load_baseline(args.compare)
         except (OSError, ValueError, BenchError) as exc:
             raise SystemExit(f"cannot load baseline: {exc}")
+        unknown = sorted(set(baseline.get("scenarios", {})) - set(SCENARIOS))
+        if unknown:
+            print(
+                f"warning: baseline {args.compare} names scenario(s) "
+                f"unknown to this build: {', '.join(unknown)} "
+                "(renamed or removed? regenerate with --write-baseline)",
+                file=sys.stderr,
+            )
         problems = compare_reports(
             reports,
             baseline,
@@ -740,12 +811,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.set_defaults(func=cmd_fleet)
 
+    ssd = sub.add_parser(
+        "ssd",
+        help="run the paper's workloads through the page-mapped FTL: "
+        "write amplification, GC, mapping cache, wear (docs/ftl.md)",
+    )
+    ssd.add_argument(
+        "--profile", choices=sorted(PROFILES), default="users",
+        help="workload preset (users has the hot/cold write mix that "
+        "makes separation interesting)",
+    )
+    ssd.add_argument(
+        "--disk", choices=DISK_CHOICES, default="toshiba",
+        help="reference disk whose label defines the logical span — the "
+        "workload stream is identical to a disk run on this model",
+    )
+    ssd.add_argument(
+        "--flash", default="ssd",
+        help="flash geometry preset (default: the 4-channel 'ssd')",
+    )
+    ssd.add_argument(
+        "--hours", type=float, default=None,
+        help="length of a measurement day (default: the profile's 15h)",
+    )
+    ssd.add_argument("--seed", type=int, default=1993)
+    ssd.add_argument("--days", type=int, default=2)
+    ssd.add_argument(
+        "--gc-policy", choices=("greedy", "cost-benefit"), default="greedy",
+        help="garbage-collection victim selection",
+    )
+    ssd.add_argument(
+        "--cmt-capacity", type=int, default=8192, metavar="ENTRIES",
+        help="cached-mapping-table capacity; misses cost translation-page "
+        "reads from flash",
+    )
+    ssd.add_argument(
+        "--hot-threshold", type=int, default=2, metavar="N",
+        help="sketch count at which a page writes to the hot frontier",
+    )
+    ssd.add_argument(
+        "--no-precondition", action="store_true",
+        help="start from a fresh (never-written) drive; short days will "
+        "not garbage-collect",
+    )
+    ssd.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write request-lifecycle + GC/mapping/wear events as JSONL",
+    )
+    _add_policy(ssd)
+    ssd.set_defaults(func=cmd_ssd)
+
     bench = sub.add_parser(
         "bench", help="time the scenario suite; gate against a baseline"
     )
     bench.add_argument(
         "--quick", action="store_true",
         help="CI-sized day lengths (digests differ from full mode)",
+    )
+    bench.add_argument(
+        "--list", action="store_true",
+        help="list the scenarios with their descriptions and exit",
     )
     bench.add_argument(
         "--scenarios", default=None, metavar="NAME[,NAME...]",

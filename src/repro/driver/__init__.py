@@ -15,6 +15,14 @@ from .errors import (
     DriverError,
     MediaError,
 )
+from .ftl import (
+    FLASH_MODELS,
+    GC_POLICIES,
+    FlashGeometry,
+    FtlDriver,
+    FtlStats,
+    flash_model,
+)
 from .ioctl import IoctlCommand, IoctlInterface, ReservedAreaInfo
 from .monitor import (
     ClassStats,
@@ -50,7 +58,12 @@ __all__ = [
     "DiskRequest",
     "DriverError",
     "FCFSQueue",
+    "FLASH_MODELS",
     "FaultStats",
+    "FlashGeometry",
+    "FtlDriver",
+    "FtlStats",
+    "GC_POLICIES",
     "MediaError",
     "IoctlCommand",
     "IoctlInterface",
@@ -63,6 +76,7 @@ __all__ = [
     "ReservedAreaInfo",
     "SSTFQueue",
     "ScanQueue",
+    "flash_model",
     "make_queue",
     "physio",
     "read_request",

@@ -24,6 +24,12 @@ Line shapes (``event`` discriminates)::
     {"event": "idle-window", "device": ..., "t": ..., "budget_moves": ...}
     {"event": "migration-move", "device": ..., "t": ..., "lbn": ...,
      "reserved": ..., "ios": ...}
+    {"event": "gc-run", "device": ..., "t": ..., "victim": ...,
+     "policy": "greedy"|"cost-benefit", "moved": ..., "erases": ...}
+    {"event": "mapping-writeback", "device": ..., "t": ..., "tvpn": ...,
+     "entries": ...}
+    {"event": "wear-level", "device": ..., "t": ..., "max_erase": ...,
+     "mean_erase": ...}
     {"event": "fault-injected", "device": ..., "t": ..., "block": ...,
      "kind": "transient"|"media", "op": "read"|"write"}
     {"event": "retry", "device": ..., "t": ..., "block": ...,
@@ -195,6 +201,43 @@ class JsonlTraceWriter(Tracer):
                 "block": block,
                 "attempt": attempt,
                 "op": "read" if is_read else "write",
+            }
+        )
+
+    def gc_run(
+        self, device, now_ms, victim_block, policy, moved_pages, erase_count
+    ):
+        self._emit(
+            {
+                "event": "gc-run",
+                "device": device,
+                "t": now_ms,
+                "victim": victim_block,
+                "policy": policy,
+                "moved": moved_pages,
+                "erases": erase_count,
+            }
+        )
+
+    def mapping_writeback(self, device, now_ms, tvpn, entries):
+        self._emit(
+            {
+                "event": "mapping-writeback",
+                "device": device,
+                "t": now_ms,
+                "tvpn": tvpn,
+                "entries": entries,
+            }
+        )
+
+    def wear_level(self, device, now_ms, max_erase, mean_erase):
+        self._emit(
+            {
+                "event": "wear-level",
+                "device": device,
+                "t": now_ms,
+                "max_erase": max_erase,
+                "mean_erase": mean_erase,
             }
         )
 

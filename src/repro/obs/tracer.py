@@ -110,6 +110,32 @@ class Tracer:
         """One incremental block move committed: ``logical_block`` now
         lives at ``reserved_block`` after ``ios`` queued migration I/Os."""
 
+    def gc_run(
+        self,
+        device: str,
+        now_ms: float,
+        victim_block: int,
+        policy: str,
+        moved_pages: int,
+        erase_count: int,
+    ) -> None:
+        """The FTL collected ``victim_block`` under ``policy``, migrating
+        ``moved_pages`` live pages before the erase (the block's
+        ``erase_count`` includes this one)."""
+
+    def mapping_writeback(
+        self, device: str, now_ms: float, tvpn: int, entries: int
+    ) -> None:
+        """The FTL flushed ``entries`` dirty mapping entries of
+        translation page ``tvpn`` to flash (a mapping-cache eviction or
+        a GC-driven rewrite)."""
+
+    def wear_level(
+        self, device: str, now_ms: float, max_erase: int, mean_erase: float
+    ) -> None:
+        """End-of-day wear snapshot: per-block erase-count maximum and
+        mean across the whole device."""
+
     def recovery_begin(
         self, device: str, now_ms: float, disk_entries: int
     ) -> None:
@@ -181,6 +207,22 @@ class MulticastTracer(Tracer):
             tracer.migration_move(
                 device, now_ms, logical_block, reserved_block, ios
             )
+
+    def gc_run(
+        self, device, now_ms, victim_block, policy, moved_pages, erase_count
+    ):
+        for tracer in self.tracers:
+            tracer.gc_run(
+                device, now_ms, victim_block, policy, moved_pages, erase_count
+            )
+
+    def mapping_writeback(self, device, now_ms, tvpn, entries):
+        for tracer in self.tracers:
+            tracer.mapping_writeback(device, now_ms, tvpn, entries)
+
+    def wear_level(self, device, now_ms, max_erase, mean_erase):
+        for tracer in self.tracers:
+            tracer.wear_level(device, now_ms, max_erase, mean_erase)
 
     def recovery_begin(self, device, now_ms, disk_entries):
         for tracer in self.tracers:

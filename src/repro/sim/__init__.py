@@ -45,6 +45,11 @@ _MULTIFS_NAMES = {
     "MultiFSDayResult",
     "MultiFSExperiment",
 }
+_SSD_NAMES = {
+    "SsdConfig",
+    "SsdDayResult",
+    "SsdExperiment",
+}
 
 
 def __getattr__(name: str):
@@ -56,6 +61,10 @@ def __getattr__(name: str):
         from . import multifs
 
         return getattr(multifs, name)
+    if name in _SSD_NAMES:
+        from . import ssd
+
+        return getattr(ssd, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -86,6 +95,9 @@ __all__ = [
     "PeriodicFire",
     "SimEvent",
     "Simulation",
+    "SsdConfig",
+    "SsdDayResult",
+    "SsdExperiment",
     "Step",
     "StepIssue",
     "UnhandledEventError",

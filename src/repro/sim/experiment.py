@@ -139,6 +139,35 @@ ExperimentConfig.__init__ = removed_alias(num_rearranged="num_blocks")(
 )
 
 
+def make_partition(label: DiskLabel, profile: WorkloadProfile):
+    """Lay out the file system's partition per the profile's band.
+
+    ``"full"`` covers the whole virtual disk.  ``"center"`` is a home
+    partition occupying the middle 40% of the virtual disk — the slice
+    whose physical cylinders bracket the reserved area — with outer
+    dummy partitions standing in for root and swap.
+
+    Shared by the disk :class:`Experiment` and the SSD experiment
+    (:mod:`repro.sim.ssd`): both must carve the identical partition from
+    the identical virtual span so one workload stream drives both
+    backends.
+    """
+    total = label.virtual_total_blocks
+    if profile.partition_band == "center":
+        per_cyl = label.geometry.blocks_per_cylinder
+        # Start two cylinder groups below the hidden reserved area so
+        # that a first-fit-growing file system surrounds it.
+        assert label.reserved_start_cylinder is not None
+        start_cyl = max(
+            0,
+            label.reserved_start_cylinder - 2 * profile.cylinders_per_group,
+        )
+        if start_cyl > 0:
+            label.add_partition("root", start_cyl * per_cyl)
+        return label.add_partition("home", total - start_cyl * per_cyl)
+    return label.add_partition("fs0", total)
+
+
 @dataclass
 class DayResult:
     """Metrics plus workload context for one simulated day."""
@@ -235,30 +264,7 @@ class Experiment:
         """Simulation events processed across every day run so far."""
 
     def _make_partition(self, profile: WorkloadProfile):
-        """Lay out the file system's partition per the profile's band.
-
-        ``"full"`` covers the whole virtual disk.  ``"center"`` is a home
-        partition occupying the middle 40% of the virtual disk — the slice
-        whose physical cylinders bracket the reserved area — with outer
-        dummy partitions standing in for root and swap.
-        """
-        total = self.label.virtual_total_blocks
-        if profile.partition_band == "center":
-            per_cyl = self.label.geometry.blocks_per_cylinder
-            # Start two cylinder groups below the hidden reserved area so
-            # that a first-fit-growing file system surrounds it.
-            assert self.label.reserved_start_cylinder is not None
-            start_cyl = max(
-                0,
-                self.label.reserved_start_cylinder
-                - 2 * profile.cylinders_per_group,
-            )
-            if start_cyl > 0:
-                self.label.add_partition("root", start_cyl * per_cyl)
-            return self.label.add_partition(
-                "home", total - start_cyl * per_cyl
-            )
-        return self.label.add_partition("fs0", total)
+        return make_partition(self.label, profile)
 
     # ------------------------------------------------------------------
     # One day

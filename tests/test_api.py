@@ -7,7 +7,14 @@ import numpy as np
 import pytest
 
 import repro
-from repro.api import make_config, run_bench, run_campaign, simulate_day
+from repro.api import (
+    SsdConfig,
+    SsdDayResult,
+    make_config,
+    run_bench,
+    run_campaign,
+    simulate_day,
+)
 from repro.disk.disk import Disk
 from repro.disk.models import FUJITSU_M2266, TOSHIBA_MK156F, disk_model
 from repro.sim import ExperimentConfig, Simulation, run_onoff_campaign
@@ -67,6 +74,18 @@ class TestFacade:
         assert config.num_blocks == 123
         assert config.disk == "fujitsu"
 
+    def test_make_config_ssd_returns_an_ssd_config(self):
+        config = make_config("system", "ssd", hours=0.05, cmt_capacity=512)
+        assert isinstance(config, SsdConfig)
+        assert config.cmt_capacity == 512
+        assert config.profile.day_hours == pytest.approx(0.05)
+
+    def test_simulate_day_dispatches_on_config_type(self):
+        day = simulate_day(fast_config(disk="ssd"), policy="off")
+        assert isinstance(day, SsdDayResult)
+        assert day.workload_requests > 0
+        assert day.write_amplification >= 1.0
+
     def test_run_bench_returns_typed_reports(self):
         (report,) = run_bench(["fault_stress"], quick=True)
         assert report.scenario == "fault_stress"
@@ -82,6 +101,10 @@ class TestFacade:
 class TestRemovedAliases:
     """The one-release deprecated keywords are gone; the errors say what
     replaced them instead of the stock unexpected-keyword message."""
+
+    def test_simulate_day_rearranged_kwarg(self):
+        with pytest.raises(TypeError, match="removed.*policy"):
+            simulate_day(hours=0.05, rearranged=True)
 
     def test_experiment_config_num_rearranged_kwarg(self):
         with pytest.raises(TypeError, match="removed.*num_blocks"):

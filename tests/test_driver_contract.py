@@ -1,0 +1,143 @@
+"""The :class:`DeviceDriver` contract, enforced across backends.
+
+The simulation engine clocks any structurally conforming device, so
+every backend — the paper's adaptive disk driver and the page-mapped FTL
+(``docs/ftl.md``) — must agree on the boundary semantics: error paths,
+the strategy/complete clocking handshake, read-after-write through
+``read_data``, the crash/recover/resubmit protocol, and the tracer
+hooks.  Each test here runs against every backend via the parametrized
+``driver`` fixture; adding a backend means adding one factory.
+"""
+
+import pytest
+
+from repro.disk.disk import Disk
+from repro.disk.label import DiskLabel
+from repro.disk.models import TOSHIBA_MK156F
+from repro.driver import (
+    AdaptiveDiskDriver,
+    BadAddressError,
+    DeviceDriver,
+    DriverError,
+    FlashGeometry,
+    FtlDriver,
+)
+from repro.driver.request import read_request, write_request
+from repro.obs.tracer import Tracer
+
+TINY_FLASH = FlashGeometry(
+    channels=1, blocks_per_channel=40, pages_per_block=8, page_bytes=64
+)
+
+
+def make_disk_driver() -> AdaptiveDiskDriver:
+    label = DiskLabel(TOSHIBA_MK156F.geometry, reserved_cylinders=4)
+    driver = AdaptiveDiskDriver(disk=Disk(TOSHIBA_MK156F), label=label)
+    driver.attach()
+    return driver
+
+
+def make_ftl_driver() -> FtlDriver:
+    driver = FtlDriver(geometry=TINY_FLASH, logical_pages=128)
+    driver.attach()
+    return driver
+
+
+BACKENDS = {"disk": make_disk_driver, "ftl": make_ftl_driver}
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def driver(request):
+    return BACKENDS[request.param]()
+
+
+def serve(driver, request) -> None:
+    """Drive one request (and anything queued behind it) to completion."""
+    completion = driver.strategy(request, request.arrival_ms)
+    while completion is not None:
+        __, completion = driver.complete(completion)
+
+
+class RecordingTracer(Tracer):
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    def request_enqueued(self, device, request, now_ms, queue_depth):
+        self.events.append(("enqueued", device, request.request_id))
+
+    def service_complete(self, device, request, now_ms):
+        self.events.append(("complete", device, request.request_id))
+
+
+class TestDeviceDriverContract:
+    def test_satisfies_the_runtime_protocol(self, driver):
+        assert isinstance(driver, DeviceDriver)
+        assert isinstance(driver.name, str)
+        assert driver.tracer is not None
+
+    def test_strategy_before_arrival_is_a_driver_error(self, driver):
+        request = read_request(0, arrival_ms=100.0)
+        with pytest.raises(DriverError, match="before the request's arrival"):
+            driver.strategy(request, 50.0)
+
+    def test_multiblock_requests_are_rejected(self, driver):
+        request = read_request(0, arrival_ms=0.0, size_blocks=4)
+        with pytest.raises(BadAddressError, match="single-block"):
+            driver.strategy(request, 0.0)
+
+    def test_complete_while_idle_is_a_driver_error(self, driver):
+        with pytest.raises(DriverError, match="no operation in flight"):
+            driver.complete(0.0)
+
+    def test_busy_queueing_lifecycle(self, driver):
+        first = write_request(1, arrival_ms=0.0, tag="a")
+        second = write_request(2, arrival_ms=0.0, tag="b")
+        completion = driver.strategy(first, 0.0)
+        assert completion is not None and completion >= 0.0
+        assert driver.busy
+        assert driver.strategy(second, 0.0) is None  # queued behind first
+        done, next_completion = driver.complete(completion)
+        assert done is first
+        assert next_completion is not None  # second started immediately
+        done, next_completion = driver.complete(next_completion)
+        assert done is second
+        assert next_completion is None
+        assert not driver.busy
+
+    def test_read_after_write_through_read_data(self, driver):
+        for block, tag in ((3, "x"), (40, "y"), (3, "x2")):
+            serve(driver, write_request(block, arrival_ms=0.0, tag=tag))
+        serve(driver, read_request(3, arrival_ms=1.0))
+        assert driver.read_data(3) == "x2"
+        assert driver.read_data(40) == "y"
+        assert driver.read_data(99) is None  # never written
+
+    def test_completed_requests_carry_timestamps(self, driver):
+        request = write_request(5, arrival_ms=10.0, tag="t")
+        serve(driver, request)
+        assert request.submit_ms is not None
+        assert request.complete_ms is not None
+        assert request.complete_ms >= request.submit_ms >= 10.0
+
+    def test_tracer_hooks_fire_with_the_device_name(self, driver):
+        tracer = RecordingTracer()
+        driver.tracer = tracer
+        request = write_request(7, arrival_ms=0.0, tag="v")
+        serve(driver, request)
+        assert ("enqueued", driver.name, request.request_id) in tracer.events
+        assert ("complete", driver.name, request.request_id) in tracer.events
+
+    def test_crash_recover_resubmit_round_trip(self, driver):
+        serve(driver, write_request(3, arrival_ms=0.0, tag="durable"))
+        inflight = write_request(5, arrival_ms=1000.0, tag="retried")
+        assert driver.strategy(inflight, 1000.0) is not None
+        lost = driver.crash(1500.0)
+        assert inflight in lost
+        assert not driver.busy
+        clock = driver.recover(1500.0)
+        assert clock >= 1500.0
+        completion = driver.resubmit(inflight, clock)
+        while completion is not None:
+            __, completion = driver.complete(completion)
+        assert driver.read_data(3) == "durable"
+        assert driver.read_data(5) == "retried"

@@ -1,6 +1,6 @@
 """The typed ``RearrangementPolicy`` API: resolution and validation,
 digest payload stability, threading through configs / fleet specs / CLI,
-and the one-release ``rearranged=`` deprecation shim."""
+and the removed ``rearranged=`` alias."""
 
 import pickle
 
@@ -177,26 +177,21 @@ class TestCli:
             )
 
 
-class TestDeprecatedRearranged:
-    def test_rearranged_true_warns_and_matches_nightly(self):
-        fresh = simulate_day(hours=0.05, policy="nightly")
-        with pytest.warns(DeprecationWarning, match="rearranged"):
-            legacy = simulate_day(hours=0.05, rearranged=True)
-        assert day_metrics_payload(legacy.metrics) == day_metrics_payload(
-            fresh.metrics
-        )
+class TestRemovedRearranged:
+    """The ``rearranged=`` boolean finished its one-release deprecation
+    cycle: it is now a removed alias that names ``policy=``."""
 
-    def test_rearranged_false_warns_and_matches_the_default(self):
-        fresh = simulate_day(hours=0.05)
-        with pytest.warns(DeprecationWarning, match="rearranged"):
-            legacy = simulate_day(hours=0.05, rearranged=False)
-        assert day_metrics_payload(legacy.metrics) == day_metrics_payload(
-            fresh.metrics
-        )
+    def test_rearranged_kwarg_is_removed(self):
+        with pytest.raises(TypeError, match="removed.*policy"):
+            simulate_day(hours=0.05, rearranged=True)
 
-    def test_both_spellings_is_an_error(self):
-        with pytest.raises(TypeError, match="both"):
-            simulate_day(hours=0.05, policy="nightly", rearranged=True)
+    def test_policy_spelling_still_matches_the_old_behavior(self):
+        # ``rearranged=False`` used to mean the default single day.
+        off = simulate_day(hours=0.05, policy="off")
+        default = simulate_day(hours=0.05)
+        assert day_metrics_payload(off.metrics) == day_metrics_payload(
+            default.metrics
+        )
 
     def test_policy_off_never_moves_blocks(self):
         day = simulate_day(hours=0.05, policy="off")
