@@ -48,7 +48,7 @@ from .sim.experiment import (
 from .sim.experiment import run_campaign as _run_campaign
 from .sim.ssd import SsdConfig, SsdDayResult, SsdExperiment
 from .traces.ingest import ingest_trace
-from .traces.replay import TraceReplayResult, replay_jobs
+from .traces.replay import SsdReplayResult, TraceReplayResult, replay_jobs
 from .traces.rescale import DEFAULT_GAP_MS
 from .workload.profiles import PROFILES, WorkloadProfile
 
@@ -66,6 +66,7 @@ __all__ = [
     "SsdConfig",
     "SsdDayResult",
     "SsdExperiment",
+    "SsdReplayResult",
     "TraceReplayResult",
     "make_config",
     "replay_trace",
@@ -205,7 +206,8 @@ def replay_trace(
     target_blocks: int | None = None,
     source_span: int | None = None,
     tracer: Tracer = NULL_TRACER,
-) -> TraceReplayResult:
+    fast: bool = True,
+) -> TraceReplayResult | SsdReplayResult:
     """Ingest a raw block trace and replay it through the driver.
 
     ``source`` is a blkparse text file or an MSR-Cambridge-style CSV
@@ -217,6 +219,14 @@ def replay_trace(
     :class:`TraceReplayResult` carries the day's
     :class:`~repro.stats.metrics.DayMetrics` plus the ingest stage's
     output (``.ingest`` — jobs, trace character, mapping facts).
+
+    ``disk="ssd"`` replays the trace through the page-mapped FTL backend
+    (``docs/ftl.md``) and returns an :class:`SsdReplayResult` — write
+    amplification, GC and mapping-cache counters instead of seek
+    metrics; ``rearrange=True`` there pre-trains hot/cold write
+    separation on the trace.  ``fast`` toggles the batch simulation
+    kernel (:mod:`repro.sim.vector`); metrics are bit-identical either
+    way.
 
     Deterministic end to end: the same file and options produce
     bit-identical metrics on every run.  See ``docs/traces.md``.
@@ -240,6 +250,7 @@ def replay_trace(
         rearrange=rearrange,
         num_blocks=num_blocks,
         tracer=tracer,
+        fast=fast,
     )
     result.ingest = ingested
     return result

@@ -105,6 +105,12 @@ class BenchReport:
     peak_mem_bytes: int | None = None
     """Peak traced allocation (``tracemalloc``) of one untimed scenario
     run; ``None`` when the memory pass was skipped."""
+    sim_wall_s: float | None = None
+    """Seconds spent inside :meth:`Simulation.run` during the best
+    repetition — the simulator's share of :attr:`wall_s`, excluding
+    workload generation, analysis and reporting.  ``None`` when the
+    scenario's simulations all ran in worker processes (the process-local
+    accumulator saw nothing)."""
     machine: dict[str, Any] = field(default_factory=dict)
     detail: dict[str, Any] = field(default_factory=dict)
 
@@ -113,6 +119,16 @@ class BenchReport:
         if self.wall_s <= 0:
             return 0.0
         return self.events / self.wall_s
+
+    @property
+    def sim_events_per_sec(self) -> float | None:
+        """Simulator-only throughput: events over time spent inside
+        :meth:`Simulation.run`.  This is the number the batch kernel
+        moves; :attr:`events_per_sec` also carries generation and
+        analysis, which the kernel does not touch."""
+        if not self.sim_wall_s or self.sim_wall_s <= 0:
+            return None
+        return self.events / self.sim_wall_s
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -123,6 +139,8 @@ class BenchReport:
             "wall_s_all": self.wall_s_all,
             "events": self.events,
             "events_per_sec": self.events_per_sec,
+            "sim_wall_s": self.sim_wall_s,
+            "sim_events_per_sec": self.sim_events_per_sec,
             "requests": self.requests,
             "metrics_digest": self.metrics_digest,
             "calibration": self.calibration,
@@ -172,17 +190,24 @@ def run_scenario(
     With ``measure_memory`` (the default) a final untimed repetition runs
     under ``tracemalloc`` and records the peak traced allocation.
     """
+    # Imported here: repro.sim reaches repro.traces (replay) at package
+    # init, which imports this package through the analysis layer.
+    from ..sim import engine as _engine
+
     if repeat < 1:
         raise ValueError("repeat must be >= 1")
     if calibration is None:
         calibration = calibration_score()
     walls: list[float] = []
+    sim_walls: list[float] = []
     digest: str | None = None
     result: ScenarioResult | None = None
     for _ in range(repeat):
+        _engine.reset_run_wall()
         start = time.perf_counter()
         result = scenario.run(quick)
         walls.append(time.perf_counter() - start)
+        sim_walls.append(_engine.run_wall_s())
         this_digest = metrics_digest(result.payload)
         if digest is None:
             digest = this_digest
@@ -203,16 +228,18 @@ def run_scenario(
         # worker count, so the execution width is machine metadata — a
         # baseline timed at one width must not gate a run at another.
         machine["workers"] = result.detail["workers"]
+    best = min(range(len(walls)), key=walls.__getitem__)
     return BenchReport(
         scenario=scenario.name,
         mode="quick" if quick else "full",
-        wall_s=min(walls),
+        wall_s=walls[best],
         wall_s_all=walls,
         events=result.events,
         requests=result.requests,
         metrics_digest=digest,
         calibration=calibration,
         peak_mem_bytes=peak_mem,
+        sim_wall_s=sim_walls[best] if sim_walls[best] > 0 else None,
         machine=machine,
         detail=dict(result.detail),
     )
@@ -268,6 +295,8 @@ def write_baseline(
                 "wall_s": report.wall_s,
                 "events": report.events,
                 "events_per_sec": report.events_per_sec,
+                "sim_wall_s": report.sim_wall_s,
+                "sim_events_per_sec": report.sim_events_per_sec,
                 "metrics_digest": report.metrics_digest,
                 "calibration": report.calibration,
                 "peak_mem_bytes": report.peak_mem_bytes,
@@ -402,15 +431,56 @@ def render_report_line(report: BenchReport) -> str:
         if report.peak_mem_bytes is not None
         else ""
     )
+    sim_eps = report.sim_events_per_sec
+    sim = f"sim {sim_eps:>9.0f} ev/s  " if sim_eps is not None else ""
     return (
         f"{report.scenario:<18} {report.mode:<5} "
         f"wall {report.wall_s:8.3f}s  "
         f"events {report.events:>8}  "
         f"{report.events_per_sec:>10.0f} ev/s  "
+        f"{sim}"
         f"requests {report.requests:>7}  "
         f"{memory}"
         f"{report.metrics_digest[:19]}..."
     )
+
+
+def render_trajectory_lines(
+    reports: list[BenchReport], baseline: dict[str, Any]
+) -> list[str]:
+    """Per-scenario events/sec trajectory against a baseline.
+
+    Informational only — the gate never fails on throughput growth; this
+    is the "are we actually getting faster" readout the ROADMAP's
+    perf-trajectory item asks for.  Two ratios per scenario when the
+    measurements allow: whole-wall events/sec (generation + simulation +
+    analysis) and simulator-only events/sec (time inside
+    ``Simulation.run``), each against the matching baseline field.  A
+    baseline written before ``sim_events_per_sec`` existed yields only
+    the whole-wall ratio.  Raw, machine-local ratios: no calibration
+    normalization is applied (ev/s trajectories are meant to be read on
+    one machine across commits).
+    """
+    lines: list[str] = []
+    entries = baseline.get("scenarios", {})
+    for report in reports:
+        entry = entries.get(report.scenario)
+        if not entry:
+            continue
+        parts = [
+            f"{report.scenario:<18} {report.events_per_sec:>10.0f} ev/s"
+        ]
+        base_eps = entry.get("events_per_sec")
+        if base_eps:
+            parts.append(f"({report.events_per_sec / base_eps:5.2f}x)")
+        sim_eps = report.sim_events_per_sec
+        if sim_eps is not None:
+            parts.append(f" sim {sim_eps:>10.0f} ev/s")
+            base_sim = entry.get("sim_events_per_sec")
+            if base_sim:
+                parts.append(f"({sim_eps / base_sim:5.2f}x)")
+        lines.append("  ".join(parts))
+    return lines
 
 
 def main_check(message: str) -> None:  # pragma: no cover - CLI glue

@@ -514,7 +514,7 @@ def cmd_bench(args) -> int:
         write_baseline,
         write_report,
     )
-    from .bench.runner import render_report_line
+    from .bench.runner import render_report_line, render_trajectory_lines
     from .bench.scenarios import SCENARIOS
 
     if args.list:
@@ -527,6 +527,13 @@ def cmd_bench(args) -> int:
         scenarios = get_scenarios(names)
     except KeyError as exc:
         raise SystemExit(str(exc.args[0]))
+    if args.no_fast:
+        # Force every simulation the scenarios construct out of the
+        # batch kernel (best-effort for forked fleet workers, which
+        # re-import the engine with the override unset).
+        from .sim import engine as _engine
+
+        _engine.FAST_OVERRIDE = False
     reports = run_suite(
         scenarios,
         quick=args.quick,
@@ -537,6 +544,22 @@ def cmd_bench(args) -> int:
         print(render_report_line(report))
         path = write_report(report, args.out)
         print(f"  -> {path}")
+    if args.profile:
+        # One extra untimed repetition per scenario under cProfile; the
+        # dump lands next to the JSON artifact for pstats/snakeviz.
+        import cProfile
+        from pathlib import Path
+
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for scenario in scenarios:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            scenario.run(args.quick)
+            profiler.disable()
+            path = out_dir / f"BENCH_{scenario.name}.pstats"
+            profiler.dump_stats(path)
+            print(f"profile -> {path}")
     if args.write_baseline:
         path = write_baseline(reports, args.write_baseline)
         print(f"baseline -> {path}")
@@ -553,6 +576,11 @@ def cmd_bench(args) -> int:
                 "(renamed or removed? regenerate with --write-baseline)",
                 file=sys.stderr,
             )
+        trajectory = render_trajectory_lines(reports, baseline)
+        if trajectory:
+            print(f"\nthroughput vs {args.compare} (informational):")
+            for line in trajectory:
+                print(f"  {line}")
         problems = compare_reports(
             reports,
             baseline,
@@ -906,6 +934,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-memory", action="store_true",
         help="skip the tracemalloc pass (faster; reports lack peak memory "
         "and --compare skips the memory check)",
+    )
+    bench.add_argument(
+        "--profile", action="store_true",
+        help="run one extra untimed repetition per scenario under "
+        "cProfile and dump BENCH_<scenario>.pstats next to the JSON "
+        "artifact",
+    )
+    bench.add_argument(
+        "--no-fast", action="store_true",
+        help="force the scalar engine (disable the batch simulation "
+        "kernel) for every scenario; digests must not change",
     )
     bench.set_defaults(func=cmd_bench)
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Callable, Iterable, Mapping
 
 from .._compat import removed_alias
@@ -44,6 +45,38 @@ DEFAULT_DEVICE = "disk0"
 _WORK_EVENTS = (JobStart, StepIssue, DeviceComplete)
 """Event kinds that represent outstanding workload (periodic daemon fires
 do not keep the simulation alive by themselves)."""
+
+FAST_OVERRIDE: bool | None = None
+"""Process-wide override for :class:`Simulation`'s ``fast`` flag.
+
+``None`` (the default) leaves each constructor's ``fast`` argument in
+charge.  Setting ``True``/``False`` forces every subsequently constructed
+simulation into or out of the batch kernel — the hook behind the bench
+CLI's ``--no-fast`` flag, which must flip the whole scenario suite
+without threading a knob through every config type.  Best-effort: fleet
+scenarios that fork worker *processes* re-import this module fresh, so
+workers keep their configured ``fast`` value.
+"""
+
+_RUN_WALL_NS = 0
+
+
+def reset_run_wall() -> None:
+    """Zero the :func:`run_wall_s` accumulator."""
+    global _RUN_WALL_NS
+    _RUN_WALL_NS = 0
+
+
+def run_wall_s() -> float:
+    """Seconds spent inside :meth:`Simulation.run` since the last
+    :func:`reset_run_wall`, summed across every simulation in this
+    process.  This isolates simulator throughput from workload
+    generation, analysis and reporting, which is what the benchmark
+    suite's ``sim_events_per_sec`` reports.  Simulations running in
+    *worker processes* (fleet mode with ``workers > 1``) are not seen by
+    this process-local accumulator.
+    """
+    return _RUN_WALL_NS / 1e9
 
 
 @dataclass
@@ -82,15 +115,25 @@ class Simulation:
         drivers: Mapping[str, DeviceDriver] | None = None,
         events: EventQueue | None = None,
         tracer: Tracer = NULL_TRACER,
+        fast: bool = False,
     ) -> None:
         if driver is not None and drivers:
             raise ValueError("pass either one driver or a drivers mapping")
         self.events = events if events is not None else EventQueue()
         self.bus = EventBus()
         self.tracer = tracer
+        self.fast = fast if FAST_OVERRIDE is None else FAST_OVERRIDE
+        """Enable the batch kernel (:mod:`repro.sim.vector`): homogeneous
+        event stretches are absorbed in a fused loop with bit-identical
+        metrics, falling back to scalar dispatch at interaction points."""
         self.completed: list[DiskRequest] = []
         self.events_dispatched = 0
         """Total events this simulation has processed (all :meth:`run` calls)."""
+        self.absorbed_completions = 0
+        """Completions absorbed by the batch kernel (all :meth:`run` calls).
+        Absorbed requests are never materialized, so they do not appear in
+        :attr:`completed`; callers sizing results by ``len(run())`` must add
+        the delta of this counter across the call."""
         self._devices: dict[str, DeviceState] = {}
         self._waiting_jobs: dict[int, tuple[Job, int, str]] = {}
         self._idle_events = False
@@ -296,17 +339,63 @@ class Simulation:
         Returns the list of requests completed during this call, in
         completion order (across all devices).
         """
+        global _RUN_WALL_NS
+        start_ns = perf_counter_ns()
+        try:
+            return self._run_loop(until_ms)
+        finally:
+            _RUN_WALL_NS += perf_counter_ns() - start_ns
+
+    def _run_loop(self, until_ms: float | None) -> list[DiskRequest]:
         completed_before = len(self.completed)
         dispatched = 0
         events = self.events
         heap = events._heap
         pop = events.pop
         dispatch = self.bus.dispatch
+        absorb = None
+        if self.fast:
+            from .vector import BatchPlanner
+
+            planner = BatchPlanner(self)
+            if planner.eligible:
+                absorb = planner.absorb
         if until_ms is None:
-            # Drain-everything loop: no deadline checks, locals prebound.
-            while heap:
-                dispatch(pop())
-                dispatched += 1
+            if absorb is not None:
+                # Fast path: let the kernel absorb homogeneous stretches;
+                # anything it declines dispatches through the scalar spec.
+                # The kernel keeps monitor/disk mirrors resident between
+                # stretches (it flushes them itself before declining), so
+                # flush on every exit — normal or raising — before any
+                # caller reads the live state.
+                try:
+                    while heap:
+                        n = absorb(math.inf)
+                        if n:
+                            dispatched += n
+                            continue
+                        dispatch(pop())
+                        dispatched += 1
+                finally:
+                    planner.flush()
+            else:
+                # Drain-everything loop: no deadline checks, locals prebound.
+                while heap:
+                    dispatch(pop())
+                    dispatched += 1
+        elif absorb is not None:
+            try:
+                while heap:
+                    if heap[0][0] > until_ms:
+                        break
+                    n = absorb(until_ms)
+                    if n:
+                        dispatched += n
+                        continue
+                    dispatch(pop())
+                    dispatched += 1
+            finally:
+                planner.flush()
         else:
             while heap:
                 if heap[0][0] > until_ms:

@@ -85,6 +85,12 @@ class ExperimentConfig:
     """*When* rearrangement runs: a :class:`~repro.policy
     .RearrangementPolicy` instance or shorthand (``"nightly"``,
     ``"online"``, ``"off"``).  ``None`` means the paper's nightly cycle."""
+    fast: bool = True
+    """Run each day through the batch simulation kernel
+    (:mod:`repro.sim.vector`).  Metrics are bit-identical either way —
+    the kernel falls back to the scalar engine at every interaction
+    point — so this is purely a throughput knob, on by default and
+    exposed as ``--no-fast`` on the bench CLI for A/B verification."""
 
     def __post_init__(self) -> None:
         if self.counter not in COUNTER_STRATEGIES:
@@ -289,7 +295,9 @@ class Experiment:
         self._day_index += 1
         workload: DayWorkload = self.generator.generate_day()
 
-        simulation = Simulation(self.driver, tracer=self.tracer)
+        simulation = Simulation(
+            self.driver, tracer=self.tracer, fast=self.config.fast
+        )
         self.controller.attach_to(simulation)
         simulation.add_jobs(workload.jobs)
         if self.driver.faults is not None:

@@ -78,8 +78,10 @@ class MultiFSExperiment:
         placement_policy: str = "organ-pipe",
         queue_policy: str = "scan",
         tracer: Tracer = NULL_TRACER,
+        fast: bool = True,
     ) -> None:
         self.tracer = tracer
+        self.fast = fast
         if not specs:
             raise ValueError("need at least one file system")
         if sum(spec.fraction for spec in specs) > 1.0 + 1e-9:
@@ -152,7 +154,9 @@ class MultiFSExperiment:
         self._day += 1
 
         per_fs_requests: dict[str, int] = {}
-        simulation = Simulation(self.driver, tracer=self.tracer)
+        simulation = Simulation(
+            self.driver, tracer=self.tracer, fast=self.fast
+        )
         self.controller.attach_to(simulation)
         for partition, generator in zip(self.partitions, self.generators):
             workload = generator.generate_day()
@@ -270,7 +274,10 @@ class MultiDiskExperiment:
     """
 
     def __init__(
-        self, specs: list[DiskSpec], tracer: Tracer = NULL_TRACER
+        self,
+        specs: list[DiskSpec],
+        tracer: Tracer = NULL_TRACER,
+        fast: bool = True,
     ) -> None:
         from .experiment import (
             MIN_SKETCH_CAPACITY,
@@ -281,6 +288,7 @@ class MultiDiskExperiment:
         if not specs:
             raise ValueError("need at least one disk")
         self.tracer = tracer
+        self.fast = fast
         self.rigs: dict[str, _DiskRig] = {}
         for index, spec in enumerate(specs):
             name = spec.name or f"{spec.disk}{index}"
@@ -356,6 +364,7 @@ class MultiDiskExperiment:
         simulation = Simulation(
             drivers={name: rig.driver for name, rig in self.rigs.items()},
             tracer=self.tracer,
+            fast=self.fast,
         )
         per_device_requests: dict[str, int] = {}
         for name, rig in self.rigs.items():

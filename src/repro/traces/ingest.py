@@ -37,6 +37,12 @@ from .rescale import DEFAULT_GAP_MS, jobs_from_records
 #: (the paper's choices; see ``repro.sim.experiment``).
 _RESERVED_CYLINDERS = {"toshiba": 48, "fujitsu": 80}
 
+#: ``disk="ssd"`` replays through the page-mapped FTL, whose logical
+#: span mirrors this reference disk's label — the same convention as
+#: :class:`repro.sim.ssd.SsdExperiment`, so one ingested trace addresses
+#: both backends identically.
+_SSD_REFERENCE_DISK = "toshiba"
+
 
 @dataclass
 class IngestResult:
@@ -87,7 +93,10 @@ class IngestResult:
 def default_target_blocks(disk: str) -> int:
     """Virtual (file-system-visible) blocks of the named disk model,
     with the paper's reserved area hidden — the address space ``repro
-    replay`` exposes to a trace."""
+    replay`` exposes to a trace.  ``"ssd"`` uses the FTL's reference
+    disk label (the flash backend serves the same logical span)."""
+    if disk == "ssd":
+        disk = _SSD_REFERENCE_DISK
     model = disk_model(disk)
     label = DiskLabel(
         model.geometry, reserved_cylinders=_RESERVED_CYLINDERS[disk]

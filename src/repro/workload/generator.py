@@ -29,6 +29,7 @@ changing access patterns that made the *users* results weaker.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -123,6 +124,7 @@ class WorkloadGenerator:
         self._probs_dirty = True
         self._probs: np.ndarray | None = None
         self._cdf: np.ndarray | None = None
+        self._cdf_list: list[float] | None = None
         self._last_dir: str | None = None
 
     # ------------------------------------------------------------------
@@ -156,6 +158,7 @@ class WorkloadGenerator:
             self._probs = probs / probs.sum()
             self._probs_dirty = False
             self._cdf = None
+            self._cdf_list = None
         return self._probs
 
     def _file_cdf(self) -> np.ndarray:
@@ -174,6 +177,21 @@ class WorkloadGenerator:
             cdf /= cdf[-1]
             self._cdf = cdf
         return self._cdf
+
+    def _pick_file(self) -> int:
+        """One popularity-weighted file pick.
+
+        ``bisect_right`` over the CDF as a Python list is the scalar
+        twin of ``searchsorted(..., side="right")``: the same single
+        uniform is consumed and ``float``/``float64`` compare by value,
+        so the pick and the generator state match the array path bit for
+        bit — without the per-call ndarray dispatch.
+        """
+        self._file_probabilities()  # refresh drift; invalidates the list
+        cdf = self._cdf_list
+        if cdf is None:
+            cdf = self._cdf_list = self._file_cdf().tolist()
+        return bisect_right(cdf, self.rng.random())
 
     def _apply_drift(self) -> None:
         """Exchange popularity ranks among a fraction of the files."""
@@ -303,9 +321,7 @@ class WorkloadGenerator:
                 if total > 0:
                     pick = self.rng.choice(len(indices), p=weights / total)
                     return indices[int(pick)]
-        return int(
-            self._file_cdf().searchsorted(self.rng.random(), side="right")
-        )
+        return self._pick_file()
 
     def _emit_session(self, when: float, jobs: list[Job]) -> None:
         profile = self.profile
@@ -353,9 +369,7 @@ class WorkloadGenerator:
         """A cache-served file open: only the atime updates reach the disk."""
         if not self.profile.atime_updates:
             return
-        index = int(
-            self._file_cdf().searchsorted(self.rng.random(), side="right")
-        )
+        index = self._pick_file()
         inode = self._inodes[index]
         self._cache_write(inode.inode_block)
         if self.profile.dir_atime_updates:

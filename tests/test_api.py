@@ -238,6 +238,30 @@ class TestReplayTrace:
 
         assert digest() == digest()
 
+    def test_ssd_backend_replay(self):
+        from repro.api import replay_trace
+        from repro.traces.replay import SsdReplayResult
+
+        result = replay_trace(
+            "tests/fixtures/sample.blkparse", disk="ssd", rearrange=True
+        )
+        assert isinstance(result, SsdReplayResult)
+        assert result.separation
+        assert result.completed > 0
+        assert result.requests == result.completed
+        assert result.mean_response_ms > 0
+        assert result.payload()["flash"] == "ssd"
+
+    def test_ssd_replay_deterministic(self):
+        from repro.api import replay_trace
+
+        def payload():
+            return replay_trace(
+                "tests/fixtures/sample.msr.csv", mapping="linear", disk="ssd"
+            ).payload()
+
+        assert payload() == payload()
+
     def test_exported_from_api(self):
         from repro import api
 
